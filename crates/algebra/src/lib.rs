@@ -1,0 +1,30 @@
+//! # algebra — a language-agnostic query algebra (the Algebricks analog)
+//!
+//! Reproduces the role Algebricks (Borkar et al., SoCC 2015) plays in the
+//! paper: a logical query algebra with a rewrite-rule framework that the
+//! language above (JSONiq) extends with its own rules.
+//!
+//! * [`plan`] — the logical operator tree: EMPTY-TUPLE-SOURCE, DATASCAN,
+//!   ASSIGN, SELECT, UNNEST, AGGREGATE, SUBPLAN, GROUP-BY, JOIN,
+//!   DISTRIBUTE (paper §3.2), with typed variables.
+//! * [`expr`] — logical expressions: JSONiq navigation (`value`,
+//!   `keys-or-members`), the XQuery coercion scaffolding the translator
+//!   inserts (`promote`, `data`, `treat`), comparisons, arithmetic,
+//!   dateTime accessors, and aggregate functions.
+//! * [`rules`] — the rewrite framework plus the paper's three JSONiq rule
+//!   families (§4): **path-expression**, **pipelining**, and **group-by**
+//!   rules, each individually toggleable for the ablation experiments
+//!   (Figs. 13–15), along with always-on base rules (dead-code
+//!   elimination, select pushdown) that stand in for Algebricks' built-in
+//!   rule set.
+//!
+//! Plans print in a stable textual form ([`plan::LogicalPlan::explain`])
+//! that the test suite compares against the paper's figures.
+
+pub mod expr;
+pub mod plan;
+pub mod rules;
+
+pub use expr::{AggFunc, Function, LogicalExpr};
+pub use plan::{DataSource, LogicalOp, LogicalPlan, VarGen, VarId};
+pub use rules::{RuleConfig, RuleSet};

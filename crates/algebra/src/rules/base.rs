@@ -1,0 +1,224 @@
+//! Always-on base rules — stand-ins for Algebricks' built-in rule set.
+
+use super::{take_op, transform_bottom_up, var_use_counts, Rule};
+use crate::expr::LogicalExpr;
+use crate::plan::{LogicalOp, LogicalPlan, VarId};
+use std::collections::HashSet;
+
+/// Remove an ASSIGN whose variable is never referenced. All our scalar
+/// functions are pure, so this is always sound.
+pub struct RemoveDeadAssign;
+
+impl Rule for RemoveDeadAssign {
+    fn name(&self) -> &'static str {
+        "remove-dead-assign"
+    }
+
+    fn apply(&self, plan: &mut LogicalPlan) -> bool {
+        let counts = var_use_counts(&plan.root);
+        transform_bottom_up(&mut plan.root, &mut |op| {
+            if let LogicalOp::Assign { var, input, .. } = op {
+                if counts.get(var).copied().unwrap_or(0) == 0 {
+                    let inner = take_op(input);
+                    *op = inner;
+                    return true;
+                }
+            }
+            false
+        })
+    }
+}
+
+/// Split a SELECT sitting on a JOIN: conjuncts that reference only one
+/// side become SELECTs below the join; conjuncts spanning both sides move
+/// into the join condition. The translator emits `JOIN true + SELECT all`
+/// for multi-`for` FLWORs; this rule produces the executable equi-join.
+pub struct PushSelectIntoJoin;
+
+impl PushSelectIntoJoin {
+    fn vars_produced(op: &LogicalOp) -> HashSet<VarId> {
+        let mut out = HashSet::new();
+        op.visit(&mut |o| out.extend(o.produced_vars()));
+        out
+    }
+}
+
+impl Rule for PushSelectIntoJoin {
+    fn name(&self) -> &'static str {
+        "push-select-into-join"
+    }
+
+    fn apply(&self, plan: &mut LogicalPlan) -> bool {
+        transform_bottom_up(&mut plan.root, &mut |op| {
+            let LogicalOp::Select { cond, input } = op else {
+                return false;
+            };
+            let LogicalOp::Join { .. } = input.as_ref() else {
+                return false;
+            };
+
+            let conjuncts: Vec<LogicalExpr> = cond.conjuncts().into_iter().cloned().collect();
+            if conjuncts.is_empty() {
+                return false;
+            }
+            let LogicalOp::Join {
+                cond: jcond,
+                left,
+                right,
+            } = input.as_mut()
+            else {
+                unreachable!("checked above")
+            };
+            let lvars = Self::vars_produced(left);
+            let rvars = Self::vars_produced(right);
+
+            let mut to_left = Vec::new();
+            let mut to_right = Vec::new();
+            let mut to_join = Vec::new();
+            for c in conjuncts {
+                let mut vars = Vec::new();
+                c.collect_vars(&mut vars);
+                let uses_l = vars.iter().any(|v| lvars.contains(v));
+                let uses_r = vars.iter().any(|v| rvars.contains(v));
+                match (uses_l, uses_r) {
+                    (true, false) => to_left.push(c),
+                    (false, true) => to_right.push(c),
+                    _ => to_join.push(c),
+                }
+            }
+            if to_left.is_empty() && to_right.is_empty() {
+                return false; // nothing to push; avoid infinite loop
+            }
+            if !to_left.is_empty() {
+                let inner = take_op(left);
+                **left = LogicalOp::Select {
+                    cond: LogicalExpr::conjoin(to_left),
+                    input: Box::new(inner),
+                };
+            }
+            if !to_right.is_empty() {
+                let inner = take_op(right);
+                **right = LogicalOp::Select {
+                    cond: LogicalExpr::conjoin(to_right),
+                    input: Box::new(inner),
+                };
+            }
+            // Merge cross conjuncts into the join condition, dropping the
+            // translator's `true` placeholder.
+            let mut jparts: Vec<LogicalExpr> = jcond
+                .conjuncts()
+                .into_iter()
+                .filter(|c| !matches!(c, LogicalExpr::Const(jdm::Item::Boolean(true))))
+                .cloned()
+                .collect();
+            jparts.extend(to_join);
+            *jcond = LogicalExpr::conjoin(jparts);
+
+            // The SELECT itself is now fully absorbed.
+            let joined = take_op(input);
+            *op = joined;
+            true
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Function;
+    use jdm::Item;
+
+    fn assign(var: u32, expr: LogicalExpr, input: LogicalOp) -> LogicalOp {
+        LogicalOp::Assign {
+            var: VarId(var),
+            expr,
+            input: Box::new(input),
+        }
+    }
+
+    #[test]
+    fn dead_assign_is_removed() {
+        let plan_ops = assign(
+            0,
+            LogicalExpr::Const(Item::int(1)),
+            LogicalOp::EmptyTupleSource,
+        );
+        let mut plan = LogicalPlan::new(LogicalOp::Distribute {
+            exprs: vec![LogicalExpr::Const(Item::int(9))],
+            input: Box::new(assign(1, LogicalExpr::Const(Item::int(2)), plan_ops)),
+        });
+        assert!(RemoveDeadAssign.apply(&mut plan));
+        assert_eq!(plan.shape(), vec!["distribute", "empty-tuple-source"]);
+        assert!(!RemoveDeadAssign.apply(&mut plan));
+    }
+
+    #[test]
+    fn live_assign_is_kept() {
+        let mut plan = LogicalPlan::new(LogicalOp::Distribute {
+            exprs: vec![LogicalExpr::Var(VarId(0))],
+            input: Box::new(assign(
+                0,
+                LogicalExpr::Const(Item::int(1)),
+                LogicalOp::EmptyTupleSource,
+            )),
+        });
+        assert!(!RemoveDeadAssign.apply(&mut plan));
+    }
+
+    #[test]
+    fn select_over_join_splits_conjuncts() {
+        // left produces $0, right produces $1.
+        let left = assign(
+            0,
+            LogicalExpr::Const(Item::int(1)),
+            LogicalOp::EmptyTupleSource,
+        );
+        let right = assign(
+            1,
+            LogicalExpr::Const(Item::int(2)),
+            LogicalOp::EmptyTupleSource,
+        );
+        let join = LogicalOp::Join {
+            cond: LogicalExpr::Const(Item::Boolean(true)),
+            left: Box::new(left),
+            right: Box::new(right),
+        };
+        let cond = LogicalExpr::Call(
+            Function::And,
+            vec![
+                LogicalExpr::Call(
+                    Function::Eq,
+                    vec![LogicalExpr::Var(VarId(0)), LogicalExpr::Var(VarId(1))],
+                ),
+                LogicalExpr::Call(
+                    Function::Eq,
+                    vec![
+                        LogicalExpr::Var(VarId(0)),
+                        LogicalExpr::Const(Item::str("TMIN")),
+                    ],
+                ),
+                LogicalExpr::Call(
+                    Function::Eq,
+                    vec![
+                        LogicalExpr::Var(VarId(1)),
+                        LogicalExpr::Const(Item::str("TMAX")),
+                    ],
+                ),
+            ],
+        );
+        let mut plan = LogicalPlan::new(LogicalOp::Distribute {
+            exprs: vec![LogicalExpr::Var(VarId(0))],
+            input: Box::new(LogicalOp::Select {
+                cond,
+                input: Box::new(join),
+            }),
+        });
+        assert!(PushSelectIntoJoin.apply(&mut plan));
+        let text = plan.explain();
+        // SELECT gone from above the join; join keeps the cross conjunct.
+        assert!(text.contains("join eq($0, $1)"), "{text}");
+        // One select pushed to each side.
+        assert_eq!(text.matches("select ").count(), 2, "{text}");
+        assert!(!PushSelectIntoJoin.apply(&mut plan));
+    }
+}

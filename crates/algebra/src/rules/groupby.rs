@@ -1,0 +1,364 @@
+//! §4.3 Group-by Rules.
+//!
+//! These apply to both XML and JSON queries. The end state (Fig. 12) has
+//! "the count function computed at the same time that each group is
+//! formed (without creating any sequences)".
+
+use super::{take_op, transform_bottom_up, var_use_counts, Rule};
+use crate::expr::{AggFunc, Function, LogicalExpr};
+use crate::plan::{LogicalOp, LogicalPlan, VarGen, VarId};
+use std::collections::HashSet;
+
+/// Remove `ASSIGN $t := treat($s, item)` above a GROUP-BY whose aggregate
+/// produces `$s` (paper Fig. 9 → 10): "our rule searches for the type
+/// returned from the sequence created from the AGGREGATE operator. If it
+/// is of type item ... the whole treat expression can be safely removed."
+pub struct RemoveTreat;
+
+impl Rule for RemoveTreat {
+    fn name(&self) -> &'static str {
+        "remove-treat"
+    }
+
+    fn apply(&self, plan: &mut LogicalPlan) -> bool {
+        let mut subs: Vec<(VarId, VarId)> = Vec::new();
+        let changed = transform_bottom_up(&mut plan.root, &mut |op| {
+            let LogicalOp::Assign { var, expr, input } = op else {
+                return false;
+            };
+            let LogicalExpr::Call(Function::TreatItem, args) = expr else {
+                return false;
+            };
+            let [LogicalExpr::Var(source)] = args.as_slice() else {
+                return false;
+            };
+            subs.push((*var, *source));
+            let inner = take_op(input);
+            *op = inner;
+            true
+        });
+        for (from, to) in subs {
+            plan.root.substitute_var(from, to);
+        }
+        changed
+    }
+}
+
+/// Variables produced by a GROUP-BY nested `AGGREGATE sequence`.
+fn sequence_vars(root: &LogicalOp) -> HashSet<VarId> {
+    let mut out = HashSet::new();
+    root.visit(&mut |op| {
+        if let LogicalOp::GroupBy { nested, .. } = op {
+            if let LogicalOp::Aggregate {
+                var,
+                func: AggFunc::Sequence,
+                ..
+            } = nested.as_ref()
+            {
+                out.insert(*var);
+            }
+        }
+    });
+    out
+}
+
+/// Convert a scalar aggregate over a grouped sequence into a SUBPLAN with
+/// an incremental aggregate (paper Fig. 10 → 11): "SUBPLAN's inner focus
+/// introduces an UNNEST iterate ... and finishes with an AGGREGATE along
+/// with a count function which incrementally calculates the number of
+/// tuples".
+///
+/// This also resolves the `value`-on-sequence conflict the paper
+/// describes: after conversion, the value expression applies to one item
+/// at a time.
+pub struct ConvertScalarAggregateToSubplan;
+
+impl Rule for ConvertScalarAggregateToSubplan {
+    fn name(&self) -> &'static str {
+        "convert-scalar-aggregate-to-subplan"
+    }
+
+    fn apply(&self, plan: &mut LogicalPlan) -> bool {
+        let seq_vars = sequence_vars(&plan.root);
+        if seq_vars.is_empty() {
+            return false;
+        }
+        let mut gen = VarGen::above(&plan.root);
+        transform_bottom_up(&mut plan.root, &mut |op| {
+            let LogicalOp::Assign {
+                var: c,
+                expr,
+                input,
+            } = op
+            else {
+                return false;
+            };
+            let LogicalExpr::Call(f, args) = expr else {
+                return false;
+            };
+            if !f.is_scalar_aggregate() || args.len() != 1 {
+                return false;
+            }
+            // The aggregate argument must reference exactly one grouped
+            // sequence variable.
+            let mut vars = Vec::new();
+            args[0].collect_vars(&mut vars);
+            let seq_refs: Vec<VarId> = vars
+                .iter()
+                .copied()
+                .filter(|v| seq_vars.contains(v))
+                .collect();
+            let [s] = seq_refs.as_slice() else {
+                return false;
+            };
+            let Some(agg_func) = AggFunc::from_scalar(*f) else {
+                return false;
+            };
+
+            let item_var = gen.fresh();
+            let mut inner_arg = args[0].clone();
+            inner_arg.substitute_var(*s, item_var);
+
+            let nested = LogicalOp::Aggregate {
+                var: *c,
+                func: agg_func,
+                arg: inner_arg,
+                input: Box::new(LogicalOp::Unnest {
+                    var: item_var,
+                    expr: LogicalExpr::Call(Function::Iterate, vec![LogicalExpr::Var(*s)]),
+                    input: Box::new(LogicalOp::NestedTupleSource),
+                }),
+            };
+            let outer_input = take_op(input);
+            *op = LogicalOp::Subplan {
+                nested: Box::new(nested),
+                input: Box::new(outer_input),
+            };
+            true
+        })
+    }
+}
+
+/// Push a SUBPLAN's aggregate down into the GROUP-BY it sits on (paper
+/// Fig. 11 → 12): "we can push the AGGREGATE operator of the SUBPLAN down
+/// to the GROUP-BY operator by replacing it ... the count function is
+/// computed at the same time that each group is formed (without creating
+/// any sequences)".
+pub struct PushSubplanAggregateIntoGroupBy;
+
+impl Rule for PushSubplanAggregateIntoGroupBy {
+    fn name(&self) -> &'static str {
+        "push-subplan-aggregate-into-group-by"
+    }
+
+    fn apply(&self, plan: &mut LogicalPlan) -> bool {
+        let counts = var_use_counts(&plan.root);
+        transform_bottom_up(&mut plan.root, &mut |op| {
+            // Match SUBPLAN { AGGREGATE f over UNNEST iterate($s) over NTS }
+            // directly above GROUP-BY { AGGREGATE $s := sequence(arg) }.
+            let LogicalOp::Subplan { nested, input } = op else {
+                return false;
+            };
+            let LogicalOp::Aggregate {
+                var: c,
+                func,
+                arg,
+                input: agg_in,
+            } = nested.as_ref()
+            else {
+                return false;
+            };
+            if *func == AggFunc::Sequence {
+                return false;
+            }
+            let LogicalOp::Unnest {
+                var: j,
+                expr,
+                input: u_in,
+            } = agg_in.as_ref()
+            else {
+                return false;
+            };
+            if !matches!(u_in.as_ref(), LogicalOp::NestedTupleSource) {
+                return false;
+            }
+            let LogicalExpr::Call(Function::Iterate, it_args) = expr else {
+                return false;
+            };
+            let [LogicalExpr::Var(s)] = it_args.as_slice() else {
+                return false;
+            };
+
+            let LogicalOp::GroupBy {
+                keys,
+                nested: g_nested,
+                input: g_in,
+            } = input.as_mut()
+            else {
+                return false;
+            };
+            let LogicalOp::Aggregate {
+                var: s2,
+                func: AggFunc::Sequence,
+                arg: seq_arg,
+                input: seq_in,
+            } = g_nested.as_ref()
+            else {
+                return false;
+            };
+            if s2 != s || !matches!(seq_in.as_ref(), LogicalOp::NestedTupleSource) {
+                return false;
+            }
+            // The sequence must have no other consumer than the subplan's
+            // iterate.
+            if counts.get(s).copied().unwrap_or(0) != 1 {
+                return false;
+            }
+
+            let mut new_arg = arg.clone();
+            new_arg.substitute_var_expr(*j, seq_arg);
+            let new_nested = LogicalOp::Aggregate {
+                var: *c,
+                func: *func,
+                arg: new_arg,
+                input: Box::new(LogicalOp::NestedTupleSource),
+            };
+            let new_group = LogicalOp::GroupBy {
+                keys: keys.clone(),
+                nested: Box::new(new_nested),
+                input: Box::new(take_op(g_in)),
+            };
+            *op = new_group;
+            true
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jdm::Item;
+
+    /// The Fig. 9 naive plan for Q1-style aggregation:
+    /// `group by $date := $x("author") return count($x("title"))`.
+    fn fig9_plan() -> LogicalPlan {
+        let x = VarId(0);
+        let key_in = VarId(1);
+        let key_out = VarId(2);
+        let seq = VarId(3);
+        let treat = VarId(4);
+        let cnt = VarId(5);
+
+        // Stand-in scan producing $x.
+        let scan = LogicalOp::Unnest {
+            var: x,
+            expr: LogicalExpr::Call(
+                Function::Iterate,
+                vec![LogicalExpr::Call(
+                    Function::Collection,
+                    vec![LogicalExpr::Const(Item::str("/books"))],
+                )],
+            ),
+            input: Box::new(LogicalOp::EmptyTupleSource),
+        };
+        let a_key = LogicalOp::Assign {
+            var: key_in,
+            expr: LogicalExpr::value_key(LogicalExpr::Var(x), "author"),
+            input: Box::new(scan),
+        };
+        let group = LogicalOp::GroupBy {
+            keys: vec![(key_out, LogicalExpr::Var(key_in))],
+            nested: Box::new(LogicalOp::Aggregate {
+                var: seq,
+                func: AggFunc::Sequence,
+                arg: LogicalExpr::Var(x),
+                input: Box::new(LogicalOp::NestedTupleSource),
+            }),
+            input: Box::new(a_key),
+        };
+        let a_treat = LogicalOp::Assign {
+            var: treat,
+            expr: LogicalExpr::Call(Function::TreatItem, vec![LogicalExpr::Var(seq)]),
+            input: Box::new(group),
+        };
+        let a_count = LogicalOp::Assign {
+            var: cnt,
+            expr: LogicalExpr::Call(
+                Function::Count,
+                vec![LogicalExpr::value_key(LogicalExpr::Var(treat), "title")],
+            ),
+            input: Box::new(a_treat),
+        };
+        LogicalPlan::new(LogicalOp::Distribute {
+            exprs: vec![LogicalExpr::Var(cnt)],
+            input: Box::new(a_count),
+        })
+    }
+
+    #[test]
+    fn fig9_through_fig12() {
+        let mut plan = fig9_plan();
+
+        // Fig. 10: treat removed.
+        assert!(RemoveTreat.apply(&mut plan));
+        let t = plan.explain();
+        assert!(!t.contains("treat"), "{t}");
+        assert!(t.contains("count(value($3, \"title\"))"), "{t}");
+
+        // Fig. 11: scalar count becomes SUBPLAN { UNNEST + AGGREGATE }.
+        assert!(ConvertScalarAggregateToSubplan.apply(&mut plan));
+        let t = plan.explain();
+        assert!(t.contains("subplan"), "{t}");
+        assert!(
+            t.contains("aggregate $5 := count(value($6, \"title\"))"),
+            "{t}"
+        );
+        assert!(t.contains("unnest $6 := iterate($3)"), "{t}");
+
+        // Fig. 12: aggregate pushed into the GROUP-BY; no sequences left.
+        assert!(PushSubplanAggregateIntoGroupBy.apply(&mut plan));
+        let t = plan.explain();
+        assert!(!t.contains("subplan"), "{t}");
+        assert!(!t.contains("sequence"), "{t}");
+        assert!(
+            t.contains("aggregate $5 := count(value($0, \"title\"))"),
+            "{t}"
+        );
+
+        // Fixpoint.
+        assert!(!RemoveTreat.apply(&mut plan));
+        assert!(!ConvertScalarAggregateToSubplan.apply(&mut plan));
+        assert!(!PushSubplanAggregateIntoGroupBy.apply(&mut plan));
+    }
+
+    #[test]
+    fn q1b_shape_needs_only_the_push_rule() {
+        // Q1b arrives pre-formed as SUBPLAN above GROUP-BY (paper: "in
+        // this case we can immediately push the AGGREGATE down").
+        let mut plan = fig9_plan();
+        RemoveTreat.apply(&mut plan);
+        ConvertScalarAggregateToSubplan.apply(&mut plan);
+        // This state equals the Q1b translation; only the push applies:
+        let mut q1b = plan.clone();
+        assert!(PushSubplanAggregateIntoGroupBy.apply(&mut q1b));
+        assert!(!ConvertScalarAggregateToSubplan.apply(&mut q1b));
+    }
+
+    #[test]
+    fn conversion_requires_grouped_sequence() {
+        // count over a non-grouped variable must not convert.
+        let mut plan = LogicalPlan::new(LogicalOp::Distribute {
+            exprs: vec![LogicalExpr::Var(VarId(1))],
+            input: Box::new(LogicalOp::Assign {
+                var: VarId(1),
+                expr: LogicalExpr::Call(Function::Count, vec![LogicalExpr::Var(VarId(0))]),
+                input: Box::new(LogicalOp::Assign {
+                    var: VarId(0),
+                    expr: LogicalExpr::Const(Item::int(1)),
+                    input: Box::new(LogicalOp::EmptyTupleSource),
+                }),
+            }),
+        });
+        assert!(!ConvertScalarAggregateToSubplan.apply(&mut plan));
+    }
+}

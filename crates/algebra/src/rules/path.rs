@@ -1,0 +1,172 @@
+//! §4.1 Path Expression Rules.
+//!
+//! "Instead of creating a sequence of all the targeted items and
+//! processing the whole sequence, we want to process each item separately
+//! as it is found."
+
+use super::{take_op, transform_bottom_up, var_use_counts, Rule};
+use crate::expr::{Function, LogicalExpr};
+use crate::plan::{LogicalOp, LogicalPlan};
+
+/// Remove the `promote`/`data` coercion scaffolding the translator wraps
+/// around path arguments (paper Fig. 3 → Fig. 4: "to further clean up our
+/// query plan, we can remove the promote and data expressions included in
+/// the first ASSIGN").
+///
+/// Soundness: on JSON atomics, `data` (atomization) is the identity, and
+/// the translator only inserts `promote` toward `xs:string` on arguments
+/// that are string literals.
+pub struct EliminatePromoteData;
+
+impl EliminatePromoteData {
+    fn simplify(e: &mut LogicalExpr) -> bool {
+        let mut changed = false;
+        if let LogicalExpr::Call(f, args) = e {
+            for a in args.iter_mut() {
+                changed |= Self::simplify(a);
+            }
+            if matches!(f, Function::Promote | Function::Data) && args.len() == 1 {
+                let inner = args.pop().expect("unary call");
+                *e = inner;
+                changed = true;
+            }
+        }
+        changed
+    }
+}
+
+impl Rule for EliminatePromoteData {
+    fn name(&self) -> &'static str {
+        "eliminate-promote-data"
+    }
+
+    fn apply(&self, plan: &mut LogicalPlan) -> bool {
+        let mut changed = false;
+        plan.root.visit_mut(&mut |op| {
+            for e in op.exprs_mut() {
+                changed |= Self::simplify(e);
+            }
+        });
+        changed
+    }
+}
+
+/// Merge `UNNEST iterate($v)` with the `ASSIGN $v := keys-or-members(e)`
+/// that feeds it (paper Fig. 3 → Fig. 4): "we can merge the UNNEST with
+/// the keys-or-members expression. That way, each book object is returned
+/// immediately when it is found."
+///
+/// Sound when `$v` has no other reference (its only consumer is the
+/// iterate), which the rule verifies against whole-plan use counts.
+pub struct MergeKeysOrMembersIntoUnnest;
+
+impl Rule for MergeKeysOrMembersIntoUnnest {
+    fn name(&self) -> &'static str {
+        "merge-keys-or-members-into-unnest"
+    }
+
+    fn apply(&self, plan: &mut LogicalPlan) -> bool {
+        let counts = var_use_counts(&plan.root);
+        transform_bottom_up(&mut plan.root, &mut |op| {
+            let LogicalOp::Unnest { expr, input, .. } = op else {
+                return false;
+            };
+            let LogicalExpr::Call(Function::Iterate, args) = expr else {
+                return false;
+            };
+            let [LogicalExpr::Var(seq_var)] = args.as_slice() else {
+                return false;
+            };
+            let LogicalOp::Assign {
+                var,
+                expr: a_expr,
+                input: a_input,
+            } = input.as_mut()
+            else {
+                return false;
+            };
+            if var != seq_var || counts.get(var).copied().unwrap_or(0) != 1 {
+                return false;
+            }
+            if !matches!(a_expr, LogicalExpr::Call(Function::KeysOrMembers, _)) {
+                return false;
+            }
+            *expr = a_expr.clone();
+            let rest = take_op(a_input);
+            **input = rest;
+            true
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::VarId;
+    use jdm::Item;
+
+    /// Build the Fig. 3 naive bookstore plan.
+    fn fig3_plan() -> LogicalPlan {
+        let json_doc = LogicalExpr::Call(
+            Function::JsonDoc,
+            vec![LogicalExpr::Call(
+                Function::Promote,
+                vec![LogicalExpr::Call(
+                    Function::Data,
+                    vec![LogicalExpr::Const(Item::str("books.json"))],
+                )],
+            )],
+        );
+        let nav = LogicalExpr::value_key(LogicalExpr::value_key(json_doc, "bookstore"), "book");
+        let a0 = LogicalOp::Assign {
+            var: VarId(0),
+            expr: nav,
+            input: Box::new(LogicalOp::EmptyTupleSource),
+        };
+        let a1 = LogicalOp::Assign {
+            var: VarId(1),
+            expr: LogicalExpr::Call(Function::KeysOrMembers, vec![LogicalExpr::Var(VarId(0))]),
+            input: Box::new(a0),
+        };
+        let u = LogicalOp::Unnest {
+            var: VarId(2),
+            expr: LogicalExpr::Call(Function::Iterate, vec![LogicalExpr::Var(VarId(1))]),
+            input: Box::new(a1),
+        };
+        LogicalPlan::new(LogicalOp::Distribute {
+            exprs: vec![LogicalExpr::Var(VarId(2))],
+            input: Box::new(u),
+        })
+    }
+
+    #[test]
+    fn fig3_becomes_fig4() {
+        let mut plan = fig3_plan();
+        // Apply the two path rules (as the optimizer would).
+        assert!(EliminatePromoteData.apply(&mut plan));
+        assert!(MergeKeysOrMembersIntoUnnest.apply(&mut plan));
+        // Fig. 4: DISTRIBUTE <- UNNEST keys-or-members <- ASSIGN value,value <- ETS
+        assert_eq!(
+            plan.shape(),
+            vec!["distribute", "unnest", "assign", "empty-tuple-source"]
+        );
+        let text = plan.explain();
+        assert!(text.contains("unnest $2 := keys-or-members($0)"), "{text}");
+        assert!(!text.contains("promote"), "{text}");
+        assert!(!text.contains("data("), "{text}");
+        // Fixpoint: no further applications.
+        assert!(!EliminatePromoteData.apply(&mut plan));
+        assert!(!MergeKeysOrMembersIntoUnnest.apply(&mut plan));
+    }
+
+    #[test]
+    fn merge_requires_sole_use() {
+        let mut plan = fig3_plan();
+        // Add a second use of $1 in the distribute: merging would change
+        // semantics, so the rule must refuse.
+        if let LogicalOp::Distribute { exprs, .. } = &mut plan.root {
+            exprs.push(LogicalExpr::Var(VarId(1)));
+        }
+        assert!(!MergeKeysOrMembersIntoUnnest.apply(&mut plan));
+    }
+}

@@ -1,0 +1,404 @@
+//! §4.2 Pipelining Rules.
+//!
+//! These introduce DATASCAN for `collection()` and push navigation steps
+//! into its projection argument, so the scan emits one small item at a
+//! time: "instead of storing in DATASCAN's output tuple a sequence of all
+//! the book objects of each file in the collection, we store only one
+//! object at a time" — and, as a by-product, partitioned parallelism
+//! ("Adding these properties allows Apache VXQuery to achieve
+//! partitioned-parallel execution without any user-level parallel
+//! programming").
+
+use super::{take_op, transform_bottom_up, var_use_counts, Rule};
+use crate::expr::{Function, LogicalExpr};
+use crate::plan::{DataSource, LogicalOp, LogicalPlan, VarId};
+use jdm::{Item, PathStep, ProjectionPath};
+
+/// Unwrap a chain of `value` applications over a base variable into path
+/// steps: `value(value($v, "a"), 2)` → `($v, [Key("a"), Index(2)])`.
+fn unwrap_value_chain(e: &LogicalExpr) -> Option<(VarId, Vec<PathStep>)> {
+    match e {
+        LogicalExpr::Var(v) => Some((*v, Vec::new())),
+        LogicalExpr::Call(Function::Value, args) if args.len() == 2 => {
+            let (v, mut steps) = unwrap_value_chain(&args[0])?;
+            match &args[1] {
+                LogicalExpr::Const(Item::String(s)) => steps.push(PathStep::Key(s.clone())),
+                LogicalExpr::Const(Item::Number(n)) => steps.push(PathStep::Index(n.as_i64()?)),
+                _ => return None,
+            }
+            Some((v, steps))
+        }
+        _ => None,
+    }
+}
+
+/// Replace `ASSIGN $v := collection(path)` + `UNNEST $u := iterate($v)`
+/// with `DATASCAN $u <- collection(path)` (paper Fig. 5 → Fig. 6):
+/// "DATASCAN replaces both the ASSIGN collection and the UNNEST iterate".
+pub struct IntroduceDataScan;
+
+impl Rule for IntroduceDataScan {
+    fn name(&self) -> &'static str {
+        "introduce-datascan"
+    }
+
+    fn apply(&self, plan: &mut LogicalPlan) -> bool {
+        let counts = var_use_counts(&plan.root);
+        transform_bottom_up(&mut plan.root, &mut |op| {
+            let LogicalOp::Unnest {
+                var: u,
+                expr,
+                input,
+            } = op
+            else {
+                return false;
+            };
+            let LogicalExpr::Call(Function::Iterate, args) = expr else {
+                return false;
+            };
+            let [LogicalExpr::Var(seq_var)] = args.as_slice() else {
+                return false;
+            };
+            let LogicalOp::Assign {
+                var,
+                expr: a_expr,
+                input: a_input,
+            } = input.as_mut()
+            else {
+                return false;
+            };
+            if var != seq_var || counts.get(var).copied().unwrap_or(0) != 1 {
+                return false;
+            }
+            let LogicalExpr::Call(Function::Collection, c_args) = a_expr else {
+                return false;
+            };
+            let [LogicalExpr::Const(Item::String(path))] = c_args.as_slice() else {
+                return false;
+            };
+            let scan = LogicalOp::DataScan {
+                source: DataSource {
+                    path: path.to_string(),
+                    partitioned: true,
+                },
+                project: ProjectionPath::root(),
+                var: *u,
+                input: Box::new(take_op(a_input)),
+            };
+            *op = scan;
+            true
+        })
+    }
+}
+
+/// Merge a `value` chain into DATASCAN's projection (paper Fig. 6 → 7):
+/// "We can merge the value expressions with DATASCAN by adding a second
+/// argument to it."
+///
+/// `max_steps` caps the projection depth; the AsterixDB baseline uses a
+/// document-boundary cap (its scans materialize whole records).
+#[derive(Default)]
+pub struct PushValueIntoDataScan {
+    pub max_steps: Option<usize>,
+}
+
+impl Rule for PushValueIntoDataScan {
+    fn name(&self) -> &'static str {
+        "push-value-into-datascan"
+    }
+
+    fn apply(&self, plan: &mut LogicalPlan) -> bool {
+        let counts = var_use_counts(&plan.root);
+        transform_bottom_up(&mut plan.root, &mut |op| {
+            let LogicalOp::Assign {
+                var: a,
+                expr,
+                input,
+            } = op
+            else {
+                return false;
+            };
+            let Some((base, steps)) = unwrap_value_chain(expr) else {
+                return false;
+            };
+            if steps.is_empty() {
+                return false;
+            }
+            let LogicalOp::DataScan {
+                project,
+                var,
+                input: s_input,
+                source,
+            } = input.as_mut()
+            else {
+                return false;
+            };
+            if *var != base || counts.get(var).copied().unwrap_or(0) != 1 {
+                return false;
+            }
+            if let Some(cap) = self.max_steps {
+                if project.len() + steps.len() > cap {
+                    return false;
+                }
+            }
+            let mut new_project = project.clone();
+            for s in steps {
+                new_project.push(s);
+            }
+            let scan = LogicalOp::DataScan {
+                source: source.clone(),
+                project: new_project,
+                var: *a,
+                input: Box::new(take_op(s_input)),
+            };
+            *op = scan;
+            true
+        })
+    }
+}
+
+/// Merge `UNNEST keys-or-members($v)` into DATASCAN's projection (paper
+/// Fig. 7 → 8): the scan then emits one member at a time, which "improves
+/// the query's execution time and satisfies Hyracks' dataflow frame size
+/// restriction".
+///
+/// The pushed-down `()` step applies to *arrays* (the paper's plans only
+/// push it over arrays; an object at that position would contribute its
+/// keys in the unmerged plan — our runtime scan treats non-arrays at an
+/// `AllMembers` step as empty, and the JSONiq translator only requests
+/// the merge where the schema position is an array).
+#[derive(Default)]
+pub struct PushKeysOrMembersIntoDataScan {
+    pub max_steps: Option<usize>,
+}
+
+impl Rule for PushKeysOrMembersIntoDataScan {
+    fn name(&self) -> &'static str {
+        "push-keys-or-members-into-datascan"
+    }
+
+    fn apply(&self, plan: &mut LogicalPlan) -> bool {
+        let counts = var_use_counts(&plan.root);
+        transform_bottom_up(&mut plan.root, &mut |op| {
+            let LogicalOp::Unnest {
+                var: u,
+                expr,
+                input,
+            } = op
+            else {
+                return false;
+            };
+            let LogicalExpr::Call(Function::KeysOrMembers, args) = expr else {
+                return false;
+            };
+            let [LogicalExpr::Var(base)] = args.as_slice() else {
+                return false;
+            };
+            let LogicalOp::DataScan {
+                project,
+                var,
+                input: s_input,
+                source,
+            } = input.as_mut()
+            else {
+                return false;
+            };
+            if var != base || counts.get(var).copied().unwrap_or(0) != 1 {
+                return false;
+            }
+            if let Some(cap) = self.max_steps {
+                if project.len() + 1 > cap {
+                    return false;
+                }
+            }
+            let mut new_project = project.clone();
+            new_project.push(PathStep::AllMembers);
+            let scan = LogicalOp::DataScan {
+                source: source.clone(),
+                project: new_project,
+                var: *u,
+                input: Box::new(take_op(s_input)),
+            };
+            *op = scan;
+            true
+        })
+    }
+}
+
+/// Merge `UNNEST $u := iterate(value-chain($v))` into DATASCAN's
+/// projection. This is how Q0b's trailing `("date")` step reaches the
+/// scan: the translator binds a trailing value step through
+/// `UNNEST iterate` (to drop empty results, per `for` semantics), and the
+/// projecting scan has exactly the same skip-missing behaviour, so the
+/// merge is sound.
+pub struct PushIterateValueChainIntoDataScan;
+
+impl Rule for PushIterateValueChainIntoDataScan {
+    fn name(&self) -> &'static str {
+        "push-iterate-value-chain-into-datascan"
+    }
+
+    fn apply(&self, plan: &mut LogicalPlan) -> bool {
+        let counts = var_use_counts(&plan.root);
+        transform_bottom_up(&mut plan.root, &mut |op| {
+            let LogicalOp::Unnest {
+                var: u,
+                expr,
+                input,
+            } = op
+            else {
+                return false;
+            };
+            let LogicalExpr::Call(Function::Iterate, args) = expr else {
+                return false;
+            };
+            let [chain] = args.as_slice() else {
+                return false;
+            };
+            let Some((base, steps)) = unwrap_value_chain(chain) else {
+                return false;
+            };
+            if steps.is_empty() {
+                return false; // plain iterate; other rules own this shape
+            }
+            let LogicalOp::DataScan {
+                project,
+                var,
+                input: s_input,
+                source,
+            } = input.as_mut()
+            else {
+                return false;
+            };
+            if *var != base || counts.get(var).copied().unwrap_or(0) != 1 {
+                return false;
+            }
+            let mut new_project = project.clone();
+            for s in steps {
+                new_project.push(s);
+            }
+            let scan = LogicalOp::DataScan {
+                source: source.clone(),
+                project: new_project,
+                var: *u,
+                input: Box::new(take_op(s_input)),
+            };
+            *op = scan;
+            true
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::path::MergeKeysOrMembersIntoUnnest;
+    use jdm::Number;
+
+    /// Naive plan for `collection("/books")("bookstore")("book")()` after
+    /// the path rules (the paper's Fig. 5 with merged UNNEST k-o-m).
+    fn fig5_plan() -> LogicalPlan {
+        let a_coll = LogicalOp::Assign {
+            var: VarId(0),
+            expr: LogicalExpr::Call(
+                Function::Collection,
+                vec![LogicalExpr::Const(Item::str("/books"))],
+            ),
+            input: Box::new(LogicalOp::EmptyTupleSource),
+        };
+        let u_file = LogicalOp::Unnest {
+            var: VarId(1),
+            expr: LogicalExpr::Call(Function::Iterate, vec![LogicalExpr::Var(VarId(0))]),
+            input: Box::new(a_coll),
+        };
+        let a_nav = LogicalOp::Assign {
+            var: VarId(2),
+            expr: LogicalExpr::value_key(
+                LogicalExpr::value_key(LogicalExpr::Var(VarId(1)), "bookstore"),
+                "book",
+            ),
+            input: Box::new(u_file),
+        };
+        let a_kom = LogicalOp::Assign {
+            var: VarId(3),
+            expr: LogicalExpr::Call(Function::KeysOrMembers, vec![LogicalExpr::Var(VarId(2))]),
+            input: Box::new(a_nav),
+        };
+        let u_book = LogicalOp::Unnest {
+            var: VarId(4),
+            expr: LogicalExpr::Call(Function::Iterate, vec![LogicalExpr::Var(VarId(3))]),
+            input: Box::new(a_kom),
+        };
+        LogicalPlan::new(LogicalOp::Distribute {
+            exprs: vec![LogicalExpr::Var(VarId(4))],
+            input: Box::new(u_book),
+        })
+    }
+
+    #[test]
+    fn fig5_through_fig8() {
+        let mut plan = fig5_plan();
+        // Path rule first (merges ASSIGN k-o-m + UNNEST iterate).
+        assert!(MergeKeysOrMembersIntoUnnest.apply(&mut plan));
+        // Fig. 6: DATASCAN replaces ASSIGN collection + UNNEST iterate.
+        assert!(IntroduceDataScan.apply(&mut plan));
+        assert!(
+            plan.explain().contains("data-scan $1"),
+            "{}",
+            plan.explain()
+        );
+        // Fig. 7: value chain pushed into DATASCAN.
+        assert!(PushValueIntoDataScan::default().apply(&mut plan));
+        assert!(
+            plan.explain().contains(r#"project ("bookstore")("book")"#),
+            "{}",
+            plan.explain()
+        );
+        // Fig. 8: keys-or-members pushed into DATASCAN.
+        assert!(PushKeysOrMembersIntoDataScan::default().apply(&mut plan));
+        let text = plan.explain();
+        assert!(
+            text.contains(r#"project ("bookstore")("book")()"#),
+            "{text}"
+        );
+        // Final shape: DISTRIBUTE <- DATASCAN <- ETS.
+        assert_eq!(
+            plan.shape(),
+            vec!["distribute", "data-scan", "empty-tuple-source"]
+        );
+        // Fixpoint.
+        assert!(!IntroduceDataScan.apply(&mut plan));
+        assert!(!PushValueIntoDataScan::default().apply(&mut plan));
+        assert!(!PushKeysOrMembersIntoDataScan::default().apply(&mut plan));
+    }
+
+    #[test]
+    fn datascan_not_introduced_when_sequence_reused() {
+        let mut plan = fig5_plan();
+        if let LogicalOp::Distribute { exprs, .. } = &mut plan.root {
+            exprs.push(LogicalExpr::Var(VarId(0))); // second use of the collection seq
+        }
+        MergeKeysOrMembersIntoUnnest.apply(&mut plan);
+        assert!(!IntroduceDataScan.apply(&mut plan));
+    }
+
+    #[test]
+    fn value_chain_unwrap() {
+        let e = LogicalExpr::Call(
+            Function::Value,
+            vec![
+                LogicalExpr::value_key(LogicalExpr::Var(VarId(7)), "a"),
+                LogicalExpr::Const(Item::Number(Number::Int(3))),
+            ],
+        );
+        let (v, steps) = unwrap_value_chain(&e).unwrap();
+        assert_eq!(v, VarId(7));
+        assert_eq!(steps, vec![PathStep::Key("a".into()), PathStep::Index(3)]);
+        // Non-constant key: not unwrappable.
+        let bad = LogicalExpr::Call(
+            Function::Value,
+            vec![LogicalExpr::Var(VarId(7)), LogicalExpr::Var(VarId(8))],
+        );
+        assert!(unwrap_value_chain(&bad).is_none());
+    }
+}

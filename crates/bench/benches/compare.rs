@@ -1,0 +1,157 @@
+//! Criterion benches for the system comparisons: Fig. 18 / Table 1
+//! (MongoDB & AsterixDB, document-size sweep), Fig. 19 / Tables 2–3
+//! (SparkSQL), Figs. 22–25 (cluster comparisons) and Table 4 (MongoDB
+//! load).
+
+use baselines::asterix::{AsterixMode, AsterixSim};
+use baselines::{BenchQuery, DocStore, QuerySystem, SparkSim};
+use bench::{Harness, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use dataflow::ClusterSpec;
+
+fn harness() -> Harness {
+    Harness {
+        scale: Scale::Tiny,
+        repeat: 1,
+        ..Default::default()
+    }
+}
+
+/// Fig. 18a (+ Table 1 load path): Q0b per system at 30 vs 1
+/// measurements/array.
+fn fig18_and_table1(c: &mut Criterion) {
+    let h = harness();
+    let mut g = c.benchmark_group("fig18_document_sizes");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for mpa in [30usize, 1] {
+        let spec = h.sensor_spec(512 * 1024, 1, mpa);
+        let root = h.dataset(&format!("crit-fig18-{mpa}"), &spec);
+        let sensors = root.join("sensors");
+
+        let mut vx = h.vxquery(&root, ClusterSpec::single_node(2));
+        g.bench_function(format!("vxquery/mpa{mpa}"), |b| {
+            b.iter(|| vx.run(BenchQuery::Q0b).expect("q0b"))
+        });
+
+        let mut mongo = DocStore::new(1);
+        mongo.load(&sensors).expect("mongo load");
+        g.bench_function(format!("mongodb/mpa{mpa}"), |b| {
+            b.iter(|| mongo.run(BenchQuery::Q0b).expect("q0b"))
+        });
+
+        // Table 1's measurement: the load itself.
+        g.bench_function(format!("mongodb-load/mpa{mpa}"), |b| {
+            b.iter(|| {
+                let mut m = DocStore::new(1);
+                m.load(&sensors).expect("mongo load")
+            })
+        });
+
+        let mut asterix = AsterixSim::new(
+            AsterixMode::External,
+            ClusterSpec::single_node(2),
+            &root,
+            root.join("asterix-storage"),
+        );
+        asterix.load(&sensors).expect("asterix setup");
+        g.bench_function(format!("asterixdb/mpa{mpa}"), |b| {
+            b.iter(|| asterix.run(BenchQuery::Q0b).expect("q0b"))
+        });
+    }
+    g.finish();
+}
+
+/// Fig. 19 + Tables 2–3: Spark query vs VXQuery total, plus Spark load.
+fn fig19_and_tables23(c: &mut Criterion) {
+    let h = harness();
+    let spec = h.sensor_spec(512 * 1024, 1, 30);
+    let root = h.dataset("crit-fig19", &spec);
+    let sensors = root.join("sensors");
+    let mut g = c.benchmark_group("fig19_spark_vs_vxquery");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+
+    let engine = h.engine(
+        &root,
+        ClusterSpec::single_node(1),
+        algebra::rules::RuleConfig::all(),
+    );
+    g.bench_function("vxquery-total/Q1", |b| {
+        b.iter(|| engine.execute(vxq_core::queries::Q1).expect("q1"))
+    });
+
+    let mut spark = SparkSim::new(0);
+    spark.load(&sensors).expect("spark load");
+    g.bench_function("spark-query-only/Q1", |b| {
+        b.iter(|| spark.run(BenchQuery::Q1).expect("q1"))
+    });
+
+    // Table 2's measurement: the load itself.
+    g.bench_function("spark-load", |b| {
+        b.iter(|| {
+            let mut s = SparkSim::new(0);
+            s.load(&sensors).expect("spark load")
+        })
+    });
+    g.finish();
+}
+
+/// Figs. 22–25 (+ Table 4's load): the cluster comparison on Q0b and Q2,
+/// 1 vs 3 nodes, against both rivals.
+fn cluster_comparisons(c: &mut Criterion) {
+    let h = harness();
+    let spec = h.sensor_spec(1024 * 1024, 3, 30);
+    let root = h.dataset("crit-cluster", &spec);
+    let sensors = root.join("sensors");
+    let mut g = c.benchmark_group("fig22_25_cluster_comparisons");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for nodes in [1usize, 3] {
+        let cluster = ClusterSpec {
+            nodes,
+            partitions_per_node: 2,
+            ..Default::default()
+        };
+        for q in [BenchQuery::Q0b, BenchQuery::Q2] {
+            let mut vx = h.vxquery(&root, cluster.clone());
+            g.bench_function(format!("vxquery/{}/{}nodes", q.name(), nodes), |b| {
+                b.iter(|| vx.run(q).expect("vx"))
+            });
+            let mut asterix = AsterixSim::new(
+                AsterixMode::External,
+                cluster.clone(),
+                &root,
+                root.join("asterix-storage"),
+            );
+            asterix.load(&sensors).expect("asterix setup");
+            g.bench_function(format!("asterixdb/{}/{}nodes", q.name(), nodes), |b| {
+                b.iter(|| asterix.run(q).expect("asterix"))
+            });
+            let mut mongo = DocStore::new(nodes);
+            mongo.load(&sensors).expect("mongo load");
+            g.bench_function(format!("mongodb/{}/{}nodes", q.name(), nodes), |b| {
+                b.iter(|| mongo.run(q).expect("mongo"))
+            });
+        }
+    }
+    // Table 4: MongoDB load time at the cluster dataset size.
+    g.bench_function("mongodb-load/table4", |b| {
+        b.iter(|| {
+            let mut m = DocStore::new(3);
+            m.load(&sensors).expect("mongo load")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    fig18_and_table1,
+    fig19_and_tables23,
+    cluster_comparisons
+);
+criterion_main!(benches);

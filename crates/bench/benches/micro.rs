@@ -1,0 +1,156 @@
+//! Micro-benchmarks of the hot substrate paths: JSON event parsing, the
+//! path-projecting parser vs full parse+navigate (the pipelining rules'
+//! runtime mechanism), binary item encode/decode, frame append/read, and
+//! logical-plan optimization cost (the paper notes rewriting adds "just a
+//! few msec" — ours is microseconds).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use datagen::SensorSpec;
+use jdm::binary::{to_bytes, ItemRef};
+use jdm::parse::{parse_item, EventParser};
+use jdm::path::{PathStep, ProjectionPath};
+use jdm::project::project_all;
+
+fn tune<M: criterion::measurement::Measurement>(g: &mut criterion::BenchmarkGroup<'_, M>) {
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+}
+
+fn sensor_json(records: usize, mpa: usize) -> String {
+    let spec = SensorSpec {
+        records_per_file: records,
+        measurements_per_array: mpa,
+        ..Default::default()
+    };
+    jdm::text::to_string(&spec.file_item(0))
+}
+
+fn parser(c: &mut Criterion) {
+    let json = sensor_json(64, 30);
+    let mut g = c.benchmark_group("micro_parser");
+    tune(&mut g);
+    g.throughput(Throughput::Bytes(json.len() as u64));
+    g.bench_function("event_stream", |b| {
+        b.iter(|| {
+            let mut p = EventParser::new(json.as_bytes());
+            let mut n = 0usize;
+            while p.next_event().expect("valid json").is_some() {
+                n += 1;
+            }
+            n
+        })
+    });
+    g.bench_function("tree_build", |b| {
+        b.iter(|| parse_item(json.as_bytes()).expect("parse"))
+    });
+    g.finish();
+}
+
+fn projection(c: &mut Criterion) {
+    let json = sensor_json(64, 30);
+    let path: ProjectionPath = [
+        PathStep::Key("root".into()),
+        PathStep::AllMembers,
+        PathStep::Key("results".into()),
+        PathStep::AllMembers,
+        PathStep::Key("date".into()),
+    ]
+    .into_iter()
+    .collect();
+    let mut g = c.benchmark_group("micro_projection");
+    tune(&mut g);
+    g.throughput(Throughput::Bytes(json.len() as u64));
+    g.bench_function("projecting_parser", |b| {
+        b.iter(|| project_all(json.as_bytes(), &path).expect("project"))
+    });
+    g.bench_function("full_parse_then_navigate", |b| {
+        b.iter(|| {
+            let item = parse_item(json.as_bytes()).expect("parse");
+            let mut out = Vec::new();
+            for rec in item.get_key("root").expect("root").keys_or_members() {
+                for m in rec.get_key("results").expect("results").keys_or_members() {
+                    if let Some(d) = m.get_key("date") {
+                        out.push(d.clone());
+                    }
+                }
+            }
+            out
+        })
+    });
+    g.finish();
+}
+
+fn binary(c: &mut Criterion) {
+    let item = parse_item(sensor_json(16, 30).as_bytes()).expect("parse");
+    let bytes = to_bytes(&item);
+    let mut g = c.benchmark_group("micro_binary");
+    tune(&mut g);
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("encode", |b| b.iter(|| to_bytes(&item)));
+    g.bench_function("decode", |b| {
+        b.iter(|| ItemRef::new(&bytes).expect("ref").to_item().expect("item"))
+    });
+    g.bench_function("navigate_zero_copy", |b| {
+        b.iter(|| {
+            let r = ItemRef::new(&bytes).expect("ref");
+            let root = r.get_key("root").expect("root");
+            let mut n = 0usize;
+            for rec in root.members() {
+                let results = rec.get_key("results").expect("results");
+                n += results.count().unwrap_or(0);
+            }
+            n
+        })
+    });
+    g.finish();
+}
+
+fn frames(c: &mut Criterion) {
+    let item = parse_item(
+        br#"{"date":"20131225T00:00","dataType":"TMIN","station":"GSW000001","value":4}"#,
+    )
+    .expect("parse");
+    let field = to_bytes(&item);
+    let mut g = c.benchmark_group("micro_frames");
+    tune(&mut g);
+    g.bench_function("append_1000_tuples", |b| {
+        b.iter(|| {
+            let mut app = dataflow::FrameAppender::new(32 * 1024);
+            let mut frames = 0usize;
+            for _ in 0..1000 {
+                while !app.append(&[&field]).expect("append") {
+                    app.take_frame();
+                    frames += 1;
+                }
+            }
+            frames
+        })
+    });
+    g.finish();
+}
+
+fn optimizer(c: &mut Criterion) {
+    use algebra::rules::{RuleConfig, RuleSet};
+    let rules = RuleSet::for_config(RuleConfig::all());
+    let mut g = c.benchmark_group("micro_optimizer");
+    tune(&mut g);
+    g.bench_function("compile_and_optimize_q1", |b| {
+        b.iter(|| {
+            let mut plan = jsoniq::compile(vxq_core::queries::Q1).expect("compile");
+            rules.optimize(&mut plan);
+            plan
+        })
+    });
+    g.bench_function("compile_and_optimize_q2", |b| {
+        b.iter(|| {
+            let mut plan = jsoniq::compile(vxq_core::queries::Q2).expect("compile");
+            rules.optimize(&mut plan);
+            plan
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, parser, projection, binary, frames, optimizer);
+criterion_main!(benches);

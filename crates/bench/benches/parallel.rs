@@ -1,0 +1,101 @@
+//! Criterion benches for the parallelism experiments: Fig. 17
+//! (single-node speed-up), Fig. 20 (cluster speed-up) and Fig. 21
+//! (cluster scale-up).
+
+use algebra::rules::RuleConfig;
+use bench::{Harness, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use dataflow::ClusterSpec;
+
+fn harness() -> Harness {
+    Harness {
+        scale: Scale::Tiny,
+        repeat: 1,
+        ..Default::default()
+    }
+}
+
+/// Fig. 17: Q1 across 1/2/4/8 partitions on a 4-core node.
+fn fig17(c: &mut Criterion) {
+    let h = harness();
+    let spec = h.sensor_spec(1024 * 1024, 1, 30);
+    let root = h.dataset("crit-fig17", &spec);
+    let mut g = c.benchmark_group("fig17_single_node_speedup");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for parts in [1usize, 2, 4, 8] {
+        let cluster = ClusterSpec {
+            nodes: 1,
+            partitions_per_node: parts,
+            cores_per_node: 4,
+            ..Default::default()
+        };
+        let e = h.engine(&root, cluster, RuleConfig::all());
+        g.bench_function(format!("Q1/{parts}parts"), |b| {
+            b.iter(|| e.execute(vxq_core::queries::Q1).expect("q1"))
+        });
+    }
+    g.finish();
+}
+
+/// Fig. 20: Q0b and Q2 across 1/3/9 nodes, fixed total data.
+fn fig20(c: &mut Criterion) {
+    let h = harness();
+    let spec = h.sensor_spec(1024 * 1024, 9, 30);
+    let root = h.dataset("crit-fig20", &spec);
+    let mut g = c.benchmark_group("fig20_cluster_speedup");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for nodes in [1usize, 3, 9] {
+        let cluster = ClusterSpec {
+            nodes,
+            partitions_per_node: 2,
+            ..Default::default()
+        };
+        let e = h.engine(&root, cluster, RuleConfig::all());
+        g.bench_function(format!("Q0b/{nodes}nodes"), |b| {
+            b.iter(|| e.execute(vxq_core::queries::Q0B).expect("q0b"))
+        });
+        let e2 = h.engine(
+            &root,
+            ClusterSpec {
+                nodes,
+                partitions_per_node: 2,
+                ..Default::default()
+            },
+            RuleConfig::all(),
+        );
+        g.bench_function(format!("Q2/{nodes}nodes"), |b| {
+            b.iter(|| e2.execute(vxq_core::queries::Q2).expect("q2"))
+        });
+    }
+    g.finish();
+}
+
+/// Fig. 21: Q1 with data growing proportionally to nodes (flat = ideal).
+fn fig21(c: &mut Criterion) {
+    let h = harness();
+    let mut g = c.benchmark_group("fig21_cluster_scaleup");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for nodes in [1usize, 3, 9] {
+        let spec = h.sensor_spec(256 * 1024 * nodes, nodes, 30);
+        let root = h.dataset(&format!("crit-fig21-{nodes}"), &spec);
+        let cluster = ClusterSpec {
+            nodes,
+            partitions_per_node: 2,
+            ..Default::default()
+        };
+        let e = h.engine(&root, cluster, RuleConfig::all());
+        g.bench_function(format!("Q1/{nodes}nodes"), |b| {
+            b.iter(|| e.execute(vxq_core::queries::Q1).expect("q1"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig17, fig20, fig21);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Criterion benches for the rewrite-rule ablations (Figs. 13–16).
+//!
+//! One Criterion group per figure; each group benchmarks every query
+//! under the figure's *before* and *after* rule configurations on a
+//! small cached dataset (statistical companion to
+//! `cargo run -p bench --release -- fig13 ...`).
+
+use algebra::rules::RuleConfig;
+use bench::{Harness, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use dataflow::ClusterSpec;
+use vxq_core::queries::SENSOR_QUERIES;
+
+fn harness() -> Harness {
+    Harness {
+        scale: Scale::Tiny,
+        repeat: 1,
+        ..Default::default()
+    }
+}
+
+fn bench_ablation(c: &mut Criterion, group: &str, before: RuleConfig, after: RuleConfig) {
+    let h = harness();
+    let spec = h.sensor_spec(256 * 1024, 1, 30);
+    let root = h.dataset("crit-rules", &spec);
+    let cluster = ClusterSpec::single_node(1);
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for (name, q) in SENSOR_QUERIES {
+        let eb = h.engine(&root, cluster.clone(), before);
+        g.bench_function(format!("{name}/before"), |b| {
+            b.iter(|| eb.execute(q).expect("query"))
+        });
+        let ea = h.engine(&root, cluster.clone(), after);
+        g.bench_function(format!("{name}/after"), |b| {
+            b.iter(|| ea.execute(q).expect("query"))
+        });
+    }
+    g.finish();
+}
+
+fn fig13(c: &mut Criterion) {
+    bench_ablation(
+        c,
+        "fig13_path_rules",
+        RuleConfig::none(),
+        RuleConfig::path_only(),
+    );
+}
+
+fn fig14(c: &mut Criterion) {
+    bench_ablation(
+        c,
+        "fig14_pipelining_rules",
+        RuleConfig::path_only(),
+        RuleConfig::path_and_pipelining(),
+    );
+}
+
+fn fig15(c: &mut Criterion) {
+    bench_ablation(
+        c,
+        "fig15_group_by_rules",
+        RuleConfig::path_and_pipelining(),
+        RuleConfig::all(),
+    );
+}
+
+fn fig16(c: &mut Criterion) {
+    let h = harness();
+    let cluster = ClusterSpec::single_node(1);
+    let mut g = c.benchmark_group("fig16_q1_data_sizes");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for mult in [1usize, 2, 4] {
+        let spec = h.sensor_spec(128 * 1024 * mult, 1, 30);
+        let root = h.dataset(&format!("crit-fig16-{mult}"), &spec);
+        let eb = h.engine(&root, cluster.clone(), RuleConfig::none());
+        g.bench_function(format!("{mult}x/before"), |b| {
+            b.iter(|| eb.execute(vxq_core::queries::Q1).expect("q1"))
+        });
+        let ea = h.engine(&root, cluster.clone(), RuleConfig::all());
+        g.bench_function(format!("{mult}x/after"), |b| {
+            b.iter(|| ea.execute(vxq_core::queries::Q1).expect("q1"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig13, fig14, fig15, fig16);
+criterion_main!(benches);

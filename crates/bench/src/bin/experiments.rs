@@ -1,0 +1,95 @@
+//! The evaluation harness CLI.
+//!
+//! ```text
+//! cargo run -p bench --release -- [--scale tiny|small|large]
+//!                                 [--repeat N] [--out FILE]
+//!                                 <experiment>... | all | list
+//! ```
+//!
+//! Each experiment prints the corresponding paper table/figure as a
+//! markdown table; `--out` additionally appends everything to a file
+//! (used to produce EXPERIMENTS.md).
+
+use bench::experiments::{by_name, EXPERIMENTS};
+use bench::{Harness, Scale};
+use std::io::Write;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments [--scale tiny|small|large] [--repeat N] [--out FILE] \
+         <fig13|...|table4|all|list>"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut harness = Harness::default();
+    let mut targets: Vec<String> = Vec::new();
+    let mut out_file: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                harness.scale = match args.next().as_deref() {
+                    Some("tiny") => Scale::Tiny,
+                    Some("small") => Scale::Small,
+                    Some("large") => Scale::Large,
+                    _ => usage(),
+                }
+            }
+            "--repeat" => {
+                harness.repeat = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--out" => out_file = Some(args.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        usage();
+    }
+    if targets.iter().any(|t| t == "list") {
+        for (name, _) in EXPERIMENTS {
+            println!("{name}");
+        }
+        return;
+    }
+    let selected: Vec<&str> = if targets.iter().any(|t| t == "all") {
+        EXPERIMENTS.iter().map(|(n, _)| *n).collect()
+    } else {
+        targets.iter().map(String::as_str).collect()
+    };
+
+    let mut report = String::new();
+    for name in selected {
+        let Some(f) = by_name(name) else {
+            eprintln!("unknown experiment {name:?} (try `list`)");
+            std::process::exit(2);
+        };
+        eprintln!(
+            "== running {name} (scale {:?}, repeat {}) ==",
+            harness.scale, harness.repeat
+        );
+        let started = std::time::Instant::now();
+        let tables = f(&harness);
+        eprintln!("   {name} finished in {:.1?}", started.elapsed());
+        for t in tables {
+            let md = t.to_markdown();
+            println!("{md}");
+            report.push_str(&md);
+        }
+    }
+    if let Some(path) = out_file {
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .expect("open --out file");
+        f.write_all(report.as_bytes()).expect("write report");
+        eprintln!("appended results to {path}");
+    }
+}

@@ -1,0 +1,668 @@
+//! The simulated cluster: nodes × partitions, worker threads, exchanges.
+//!
+//! **Substitution note (DESIGN.md §3):** the paper runs Hyracks on a real
+//! 9-node cluster. Here a "node" is a group of `partitions_per_node` worker
+//! threads sharing a CPU core gate; exchanges between partitions of
+//! different nodes are counted as network traffic. The operator, exchange,
+//! and scheduling code paths are identical to the multi-machine case — the
+//! only thing the simulation removes is the physical wire.
+
+use crate::context::{CoreGate, TaskContext};
+use crate::error::{DataflowError, Result};
+use crate::exchange::{HashPartitionSender, MergeSender, OneToOneSender};
+use crate::frame::{Frame, DEFAULT_FRAME_SIZE};
+use crate::job::{Connector, JobSpec, Parallelism, StageId, StageKind};
+use crate::ops::{run_source, BoxWriter, CollectorWriter};
+use crate::stats::{Counters, JobStats, MemTracker};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use jdm::binary::ItemRef;
+use jdm::Item;
+use parking_lot::Mutex;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Cluster shape.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// Number of (simulated) nodes.
+    pub nodes: usize,
+    /// Worker partitions per node (the paper uses 4).
+    pub partitions_per_node: usize,
+    /// CPU cores per node; `0` means one core per partition. Setting this
+    /// below `partitions_per_node` reproduces hyper-threaded
+    /// oversubscription (Fig. 17): the timing model divides each node's
+    /// total task work by `min(cores, partitions)` when computing the
+    /// simulated makespan (see `crate::cputime`). Worker threads are never
+    /// blocked on core tokens at runtime — holding a token across a
+    /// channel send can deadlock against consumers needing tokens to
+    /// drain, so the limit is applied analytically instead.
+    pub cores_per_node: usize,
+    /// Frame capacity in bytes.
+    pub frame_size: usize,
+}
+
+impl Default for ClusterSpec {
+    fn default() -> Self {
+        ClusterSpec {
+            nodes: 1,
+            partitions_per_node: 1,
+            cores_per_node: 0,
+            frame_size: DEFAULT_FRAME_SIZE,
+        }
+    }
+}
+
+impl ClusterSpec {
+    /// Single-node spec with `p` partitions.
+    pub fn single_node(p: usize) -> Self {
+        ClusterSpec {
+            nodes: 1,
+            partitions_per_node: p,
+            ..Default::default()
+        }
+    }
+
+    /// Total partitions.
+    pub fn total_partitions(&self) -> usize {
+        self.nodes * self.partitions_per_node
+    }
+}
+
+/// An instantiated cluster, reusable across jobs.
+pub struct Cluster {
+    spec: ClusterSpec,
+    mem: Arc<MemTracker>,
+    gates: Vec<CoreGate>,
+}
+
+/// Decoded query result: one row per result tuple.
+pub type Rows = Vec<Vec<Item>>;
+
+impl Cluster {
+    pub fn new(spec: ClusterSpec) -> Self {
+        Self::with_memory(spec, MemTracker::new())
+    }
+
+    /// Use an externally-owned tracker (lets baselines impose budgets).
+    pub fn with_memory(spec: ClusterSpec, mem: Arc<MemTracker>) -> Self {
+        let gates = (0..spec.nodes)
+            .map(|_| {
+                if spec.cores_per_node == 0 {
+                    CoreGate::unlimited()
+                } else {
+                    CoreGate::with_cores(spec.cores_per_node)
+                }
+            })
+            .collect();
+        Cluster { spec, mem, gates }
+    }
+
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    pub fn memory(&self) -> &Arc<MemTracker> {
+        &self.mem
+    }
+
+    fn stage_partitions(&self, job: &JobSpec, id: StageId) -> usize {
+        match job.stages[id].parallelism {
+            Parallelism::Full => self.spec.total_partitions(),
+            Parallelism::One => 1,
+        }
+    }
+
+    fn make_ctx(
+        &self,
+        partition: usize,
+        num_partitions: usize,
+        counters: &Arc<Counters>,
+    ) -> TaskContext {
+        let node = partition
+            .checked_div(self.spec.partitions_per_node)
+            .unwrap_or(0)
+            .min(self.spec.nodes - 1);
+        TaskContext {
+            partition,
+            num_partitions,
+            node,
+            partitions_per_node: self.spec.partitions_per_node,
+            frame_size: self.spec.frame_size,
+            mem: self.mem.clone(),
+            counters: counters.clone(),
+            gate: self.gates[node].clone(),
+        }
+    }
+
+    /// Execute `job` and return the decoded result rows plus statistics.
+    pub fn run(&self, job: &JobSpec) -> Result<(Rows, JobStats)> {
+        job.validate()?;
+        let terminal = job.terminal()?;
+        let counters = Counters::new();
+        self.mem.reset();
+
+        // Each stage has at most one consumer edge in our plans; find it.
+        // consumer[s] = (consumer stage, edge index within that stage).
+        let nstages = job.stages.len();
+        let mut consumer: Vec<Option<(StageId, usize)>> = vec![None; nstages];
+        for id in 0..nstages {
+            for (edge_idx, input) in job.inputs(id).into_iter().enumerate() {
+                if consumer[input.from].is_some() {
+                    return Err(DataflowError::BadJob(format!(
+                        "stage {} has multiple consumers",
+                        input.from
+                    )));
+                }
+                consumer[input.from] = Some((id, edge_idx));
+            }
+        }
+
+        // Create channels per (consumer stage, edge, destination partition).
+        // txs[(stage, edge)][dst], rxs[(stage, edge)][dst]
+        let mut txs: Vec<Vec<Vec<Sender<Frame>>>> = Vec::with_capacity(nstages);
+        let mut rxs: Vec<Vec<Vec<Option<Receiver<Frame>>>>> = Vec::with_capacity(nstages);
+        for id in 0..nstages {
+            let nedges = job.inputs(id).len();
+            let dparts = self.stage_partitions(job, id);
+            let mut stage_txs = Vec::with_capacity(nedges);
+            let mut stage_rxs = Vec::with_capacity(nedges);
+            for _ in 0..nedges {
+                let mut etx = Vec::with_capacity(dparts);
+                let mut erx = Vec::with_capacity(dparts);
+                for _ in 0..dparts {
+                    let (tx, rx) = bounded::<Frame>(64);
+                    etx.push(tx);
+                    erx.push(Some(rx));
+                }
+                stage_txs.push(etx);
+                stage_rxs.push(erx);
+            }
+            txs.push(stage_txs);
+            rxs.push(stage_rxs);
+        }
+
+        let (result_tx, result_rx) = bounded::<Frame>(64);
+        let first_error: Arc<Mutex<Option<DataflowError>>> = Arc::new(Mutex::new(None));
+        let started = Instant::now();
+
+        std::thread::scope(|scope| {
+            for id in 0..nstages {
+                let parts = self.stage_partitions(job, id);
+                for p in 0..parts {
+                    let ctx = self.make_ctx(p, parts, &counters);
+                    // Output writer: collector for the terminal stage,
+                    // connector sender otherwise.
+                    let out: BoxWriter = if id == terminal {
+                        Box::new(CollectorWriter::new(result_tx.clone()))
+                    } else {
+                        let (cons_stage, edge_idx) =
+                            consumer[id].expect("non-terminal stage has a consumer");
+                        let edge_txs = &txs[cons_stage][edge_idx];
+                        let conn = &job.inputs(cons_stage)[edge_idx].connector;
+                        match conn {
+                            Connector::OneToOne => {
+                                Box::new(OneToOneSender::new(ctx.clone(), edge_txs[p].clone()))
+                            }
+                            Connector::Hash { key_fields } => Box::new(HashPartitionSender::new(
+                                ctx.clone(),
+                                key_fields.clone(),
+                                edge_txs.clone(),
+                            )),
+                            Connector::MergeToOne => {
+                                Box::new(MergeSender::new(ctx.clone(), edge_txs[0].clone()))
+                            }
+                        }
+                    };
+
+                    // Input receivers for this partition.
+                    let my_rxs: Vec<Receiver<Frame>> = rxs[id]
+                        .iter_mut()
+                        .map(|edge| edge[p].take().expect("receiver taken once"))
+                        .collect();
+
+                    let stage = &job.stages[id];
+                    let err_slot = first_error.clone();
+                    scope.spawn(move || {
+                        let timer = crate::cputime::TaskTimer::start();
+                        let r = run_task(stage, &ctx, my_rxs, out);
+                        ctx.counters
+                            .task_cpu
+                            .lock()
+                            .push((ctx.node, timer.elapsed()));
+                        if let Err(e) = r {
+                            let mut slot = err_slot.lock();
+                            if slot.is_none() {
+                                *slot = Some(e);
+                            }
+                        }
+                    });
+                }
+            }
+
+            // The coordinator's own copies of every sender must go away,
+            // or receivers would never observe end-of-stream: workers only
+            // hold clones.
+            drop(txs);
+            drop(result_tx);
+
+            // Drain results on the coordinator thread.
+            let mut rows: Rows = Vec::new();
+            let mut decode_err: Option<DataflowError> = None;
+            for frame in result_rx.iter() {
+                for t in frame.tuples() {
+                    let mut row = Vec::with_capacity(t.field_count());
+                    let mut ok = true;
+                    for f in t.fields() {
+                        match ItemRef::new(f).and_then(|r| r.to_item()) {
+                            Ok(item) => row.push(item),
+                            Err(e) => {
+                                decode_err.get_or_insert(e.into());
+                                ok = false;
+                                break;
+                            }
+                        }
+                    }
+                    if ok {
+                        rows.push(row);
+                    }
+                }
+            }
+            if let Some(e) = decode_err {
+                let mut slot = first_error.lock();
+                if slot.is_none() {
+                    *slot = Some(e);
+                }
+            }
+            Ok::<Rows, DataflowError>(rows)
+        })
+        .and_then(|rows| {
+            if let Some(e) = first_error.lock().take() {
+                return Err(e);
+            }
+            // Simulated cluster time: per-node makespans from task CPU
+            // times (see crate::cputime for the model).
+            let task_cpu = counters.task_cpu.lock();
+            let mut per_node: Vec<Vec<std::time::Duration>> = vec![Vec::new(); self.spec.nodes];
+            let mut cpu_total = std::time::Duration::ZERO;
+            for (node, d) in task_cpu.iter() {
+                per_node[(*node).min(self.spec.nodes - 1)].push(*d);
+                cpu_total += *d;
+            }
+            let cores = if self.spec.cores_per_node == 0 {
+                self.spec.partitions_per_node.max(1)
+            } else {
+                self.spec
+                    .cores_per_node
+                    .min(self.spec.partitions_per_node.max(1))
+            };
+            let simulated = per_node
+                .iter()
+                .map(|tasks| crate::cputime::makespan(tasks, cores))
+                .max()
+                .unwrap_or_default();
+            drop(task_cpu);
+            let stats = JobStats {
+                elapsed: simulated.max(std::time::Duration::from_micros(1)),
+                wall_elapsed: started.elapsed(),
+                cpu_total,
+                peak_memory: self.mem.peak(),
+                network_bytes: counters.network_bytes.load(Ordering::Relaxed) as usize,
+                frames_shipped: counters.frames_shipped.load(Ordering::Relaxed) as usize,
+                result_tuples: rows.len(),
+                bytes_scanned: counters.bytes_scanned.load(Ordering::Relaxed) as usize,
+            };
+            Ok((rows, stats))
+        })
+    }
+}
+
+/// Body of one worker task.
+fn run_task(
+    stage: &crate::job::Stage,
+    ctx: &TaskContext,
+    mut inputs: Vec<Receiver<Frame>>,
+    out: BoxWriter,
+) -> Result<()> {
+    match &stage.kind {
+        StageKind::Source { scan, chain } => {
+            let chain = chain.create(ctx, out)?;
+            let mut source = scan.create(ctx)?;
+            run_source(source.as_mut(), ctx.frame_size, chain)
+        }
+        StageKind::Pipe { chain, .. } => {
+            let mut head = chain.create(ctx, out)?;
+            let rx = inputs.pop().expect("pipe stage has one input");
+            head.open()?;
+            for frame in rx.iter() {
+                head.next_frame(&frame)?;
+            }
+            head.close()
+        }
+        StageKind::Join { factory, .. } => {
+            let mut op = factory.create(ctx, out)?;
+            let probe_rx = inputs.pop().expect("join stage probe input");
+            let build_rx = inputs.pop().expect("join stage build input");
+            op.open()?;
+            for frame in build_rx.iter() {
+                op.build_frame(&frame)?;
+            }
+            op.build_done()?;
+            for frame in probe_rx.iter() {
+                op.probe_frame(&frame)?;
+            }
+            op.close()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::TupleRef;
+    use crate::job::{IdentityPipe, PipeFactory, Stage, StageInput, TwoInputFactory, TwoInputOp};
+    use crate::ops::eval::{
+        Aggregator, AggregatorFactory, ScanSource, ScanSourceFactory, TupleEmitter,
+    };
+    use crate::ops::{AggregateOp, HashGroupByOp, HashJoinOp};
+    use jdm::binary::{to_bytes, write_item};
+
+    /// Source: each partition emits (key = i % 10, value = i) for its slice
+    /// of 0..n.
+    struct ModSource {
+        n: usize,
+    }
+    impl ScanSourceFactory for ModSource {
+        fn create(&self, ctx: &TaskContext) -> Result<Box<dyn ScanSource>> {
+            Ok(Box::new(ModScan {
+                n: self.n,
+                part: ctx.partition,
+                parts: ctx.num_partitions,
+            }))
+        }
+    }
+    struct ModScan {
+        n: usize,
+        part: usize,
+        parts: usize,
+    }
+    impl ScanSource for ModScan {
+        fn run(&mut self, emit: &mut TupleEmitter<'_>) -> Result<()> {
+            for i in 0..self.n {
+                if i % self.parts != self.part {
+                    continue;
+                }
+                let k = to_bytes(&Item::int((i % 10) as i64));
+                let v = to_bytes(&Item::int(i as i64));
+                emit(&[&k, &v])?;
+            }
+            Ok(())
+        }
+    }
+
+    struct CountAgg(i64);
+    impl Aggregator for CountAgg {
+        fn step(&mut self, _t: &TupleRef<'_>) -> Result<()> {
+            self.0 += 1;
+            Ok(())
+        }
+        fn finish(&mut self, out: &mut Vec<u8>) -> Result<()> {
+            write_item(&Item::int(self.0), out);
+            Ok(())
+        }
+    }
+    struct CountFactory;
+    impl AggregatorFactory for CountFactory {
+        fn create(&self) -> Box<dyn Aggregator> {
+            Box::new(CountAgg(0))
+        }
+    }
+
+    /// Chain factory: hash group-by on field 0 with count.
+    struct GroupByChain;
+    impl PipeFactory for GroupByChain {
+        fn create(&self, ctx: &TaskContext, out: BoxWriter) -> Result<BoxWriter> {
+            Ok(Box::new(HashGroupByOp::new(
+                vec![0],
+                Arc::new(CountFactory),
+                ctx.mem.clone(),
+                ctx.frame_size,
+                out,
+            )))
+        }
+    }
+
+    /// Chain: global count.
+    struct GlobalCount;
+    impl PipeFactory for GlobalCount {
+        fn create(&self, ctx: &TaskContext, out: BoxWriter) -> Result<BoxWriter> {
+            Ok(Box::new(AggregateOp::new(
+                Box::new(CountAgg(0)),
+                ctx.frame_size,
+                out,
+            )))
+        }
+    }
+
+    fn scan_stage(n: usize) -> Stage {
+        Stage {
+            kind: StageKind::Source {
+                scan: Arc::new(ModSource { n }),
+                chain: Arc::new(IdentityPipe),
+            },
+            parallelism: Parallelism::Full,
+        }
+    }
+
+    #[test]
+    fn scan_merge_collect() {
+        let cluster = Cluster::new(ClusterSpec::single_node(4));
+        let mut job = JobSpec::new();
+        let s = job.add(scan_stage(100));
+        job.add(Stage {
+            kind: StageKind::Pipe {
+                input: StageInput {
+                    from: s,
+                    connector: Connector::MergeToOne,
+                },
+                chain: Arc::new(IdentityPipe),
+            },
+            parallelism: Parallelism::One,
+        });
+        let (rows, stats) = cluster.run(&job).unwrap();
+        assert_eq!(rows.len(), 100);
+        assert_eq!(stats.result_tuples, 100);
+        let mut vals: Vec<i64> = rows
+            .iter()
+            .map(|r| r[1].as_number().unwrap().as_i64().unwrap())
+            .collect();
+        vals.sort();
+        assert_eq!(vals, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn hash_partitioned_group_by_across_nodes() {
+        let cluster = Cluster::new(ClusterSpec {
+            nodes: 3,
+            partitions_per_node: 2,
+            ..Default::default()
+        });
+        let mut job = JobSpec::new();
+        let s = job.add(scan_stage(1000));
+        let g = job.add(Stage {
+            kind: StageKind::Pipe {
+                input: StageInput {
+                    from: s,
+                    connector: Connector::Hash {
+                        key_fields: vec![0],
+                    },
+                },
+                chain: Arc::new(GroupByChain),
+            },
+            parallelism: Parallelism::Full,
+        });
+        job.add(Stage {
+            kind: StageKind::Pipe {
+                input: StageInput {
+                    from: g,
+                    connector: Connector::MergeToOne,
+                },
+                chain: Arc::new(IdentityPipe),
+            },
+            parallelism: Parallelism::One,
+        });
+        let (mut rows, stats) = cluster.run(&job).unwrap();
+        rows.sort_by(|a, b| a[0].total_cmp(&b[0]));
+        assert_eq!(rows.len(), 10);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row[0], Item::int(i as i64));
+            assert_eq!(row[1], Item::int(100));
+        }
+        assert!(stats.network_bytes > 0, "cross-node traffic expected");
+    }
+
+    #[test]
+    fn same_results_for_any_partitioning() {
+        let run = |nodes, ppn| {
+            let cluster = Cluster::new(ClusterSpec {
+                nodes,
+                partitions_per_node: ppn,
+                ..Default::default()
+            });
+            let mut job = JobSpec::new();
+            let s = job.add(scan_stage(500));
+            let g = job.add(Stage {
+                kind: StageKind::Pipe {
+                    input: StageInput {
+                        from: s,
+                        connector: Connector::Hash {
+                            key_fields: vec![0],
+                        },
+                    },
+                    chain: Arc::new(GroupByChain),
+                },
+                parallelism: Parallelism::Full,
+            });
+            job.add(Stage {
+                kind: StageKind::Pipe {
+                    input: StageInput {
+                        from: g,
+                        connector: Connector::MergeToOne,
+                    },
+                    chain: Arc::new(IdentityPipe),
+                },
+                parallelism: Parallelism::One,
+            });
+            let (mut rows, _) = cluster.run(&job).unwrap();
+            rows.sort_by(|a, b| a[0].total_cmp(&b[0]));
+            rows
+        };
+        let base = run(1, 1);
+        assert_eq!(run(1, 4), base);
+        assert_eq!(run(2, 3), base);
+        assert_eq!(run(5, 2), base);
+    }
+
+    #[test]
+    fn global_aggregate_via_merge() {
+        let cluster = Cluster::new(ClusterSpec::single_node(8));
+        let mut job = JobSpec::new();
+        let s = job.add(scan_stage(777));
+        job.add(Stage {
+            kind: StageKind::Pipe {
+                input: StageInput {
+                    from: s,
+                    connector: Connector::MergeToOne,
+                },
+                chain: Arc::new(GlobalCount),
+            },
+            parallelism: Parallelism::One,
+        });
+        let (rows, _) = cluster.run(&job).unwrap();
+        assert_eq!(rows, vec![vec![Item::int(777)]]);
+    }
+
+    struct JoinChain;
+    impl TwoInputFactory for JoinChain {
+        fn create(&self, ctx: &TaskContext, out: BoxWriter) -> Result<Box<dyn TwoInputOp>> {
+            Ok(Box::new(HashJoinOp::new(
+                vec![0],
+                vec![0],
+                ctx.mem.clone(),
+                ctx.frame_size,
+                out,
+            )))
+        }
+    }
+
+    #[test]
+    fn partitioned_hash_join() {
+        let cluster = Cluster::new(ClusterSpec {
+            nodes: 2,
+            partitions_per_node: 2,
+            ..Default::default()
+        });
+        let mut job = JobSpec::new();
+        let build = job.add(scan_stage(50));
+        let probe = job.add(scan_stage(50));
+        let j = job.add(Stage {
+            kind: StageKind::Join {
+                build: StageInput {
+                    from: build,
+                    connector: Connector::Hash {
+                        key_fields: vec![0],
+                    },
+                },
+                probe: StageInput {
+                    from: probe,
+                    connector: Connector::Hash {
+                        key_fields: vec![0],
+                    },
+                },
+                factory: Arc::new(JoinChain),
+            },
+            parallelism: Parallelism::Full,
+        });
+        job.add(Stage {
+            kind: StageKind::Pipe {
+                input: StageInput {
+                    from: j,
+                    connector: Connector::MergeToOne,
+                },
+                chain: Arc::new(IdentityPipe),
+            },
+            parallelism: Parallelism::One,
+        });
+        let (rows, _) = cluster.run(&job).unwrap();
+        // Each of 50 probe tuples matches the 5 build tuples sharing its
+        // key (keys are i % 10 over 0..50 → 5 per key): 250 results.
+        assert_eq!(rows.len(), 250);
+        for row in &rows {
+            assert_eq!(row[0], row[2], "join keys must match");
+        }
+    }
+
+    #[test]
+    fn core_gate_limits_do_not_change_results() {
+        let cluster = Cluster::new(ClusterSpec {
+            nodes: 1,
+            partitions_per_node: 8,
+            cores_per_node: 2,
+            ..Default::default()
+        });
+        let mut job = JobSpec::new();
+        let s = job.add(scan_stage(200));
+        job.add(Stage {
+            kind: StageKind::Pipe {
+                input: StageInput {
+                    from: s,
+                    connector: Connector::MergeToOne,
+                },
+                chain: Arc::new(GlobalCount),
+            },
+            parallelism: Parallelism::One,
+        });
+        let (rows, _) = cluster.run(&job).unwrap();
+        assert_eq!(rows, vec![vec![Item::int(200)]]);
+    }
+}

@@ -1,0 +1,105 @@
+//! Per-thread CPU time, the basis of the simulated-cluster timing model.
+//!
+//! **Substitution note (DESIGN.md §3):** the paper's speed-up and
+//! scale-up experiments need real cores. When the host has fewer cores
+//! than the simulated cluster (CI boxes often have one), wall-clock time
+//! cannot show parallel speed-up no matter how correct the runtime is.
+//! The cluster therefore measures each worker task's **thread CPU time**
+//! (work actually done, independent of preemption and channel blocking)
+//! and derives a *simulated elapsed time* as the schedule makespan:
+//!
+//! ```text
+//! per node n:  makespan(n) = max( longest task on n,
+//!                                 total work on n / effective cores )
+//! simulated elapsed = max over nodes of makespan(n)
+//! ```
+//!
+//! On a host with enough physical cores this converges to the measured
+//! wall time; on a constrained host it reports what the modelled cluster
+//! would do. [`crate::stats::JobStats`] carries both numbers.
+
+use std::time::Duration;
+
+/// CPU time consumed by the calling thread.
+pub fn thread_cpu_time() -> Duration {
+    let mut ts = libc::timespec {
+        tv_sec: 0,
+        tv_nsec: 0,
+    };
+    // SAFETY: CLOCK_THREAD_CPUTIME_ID with a valid out-pointer; the call
+    // cannot fail with these arguments on Linux.
+    let rc = unsafe { libc::clock_gettime(libc::CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+    debug_assert_eq!(rc, 0, "clock_gettime(CLOCK_THREAD_CPUTIME_ID) failed");
+    Duration::new(ts.tv_sec as u64, ts.tv_nsec as u32)
+}
+
+/// Stopwatch for one worker task.
+pub struct TaskTimer {
+    start: Duration,
+}
+
+impl TaskTimer {
+    pub fn start() -> Self {
+        TaskTimer {
+            start: thread_cpu_time(),
+        }
+    }
+
+    /// CPU consumed since [`TaskTimer::start`].
+    pub fn elapsed(&self) -> Duration {
+        thread_cpu_time().saturating_sub(self.start)
+    }
+}
+
+/// Makespan of a set of task durations on `cores` cores (0 = unlimited):
+/// the classic lower bound `max(longest, total/cores)`, which LPT
+/// scheduling approaches within 4/3 and our near-uniform tasks hit
+/// almost exactly.
+pub fn makespan(tasks: &[Duration], cores: usize) -> Duration {
+    let longest = tasks.iter().copied().max().unwrap_or(Duration::ZERO);
+    if cores == 0 {
+        return longest;
+    }
+    let total: Duration = tasks.iter().sum();
+    longest.max(total / cores as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_time_advances_with_work() {
+        let t = TaskTimer::start();
+        let mut x = 0u64;
+        for i in 0..5_000_000u64 {
+            x = x.wrapping_mul(31).wrapping_add(i);
+        }
+        std::hint::black_box(x);
+        assert!(t.elapsed() > Duration::ZERO);
+    }
+
+    #[test]
+    fn cpu_time_ignores_sleep() {
+        let t = TaskTimer::start();
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(
+            t.elapsed() < Duration::from_millis(15),
+            "sleep must not count as work"
+        );
+    }
+
+    #[test]
+    fn makespan_models_parallelism() {
+        let ms = Duration::from_millis;
+        let tasks = [ms(10), ms(10), ms(10), ms(10)];
+        assert_eq!(makespan(&tasks, 0), ms(10)); // unlimited cores
+        assert_eq!(makespan(&tasks, 4), ms(10));
+        assert_eq!(makespan(&tasks, 2), ms(20));
+        assert_eq!(makespan(&tasks, 1), ms(40));
+        // A dominating task bounds the makespan.
+        let skewed = [ms(40), ms(5), ms(5)];
+        assert_eq!(makespan(&skewed, 4), ms(40));
+        assert_eq!(makespan(&[], 4), ms(0));
+    }
+}

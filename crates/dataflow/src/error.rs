@@ -1,0 +1,59 @@
+//! Runtime errors for the dataflow layer.
+
+use std::fmt;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, DataflowError>;
+
+/// Errors surfaced by frame handling, operators, and job execution.
+#[derive(Debug, Clone)]
+pub enum DataflowError {
+    /// A single tuple exceeded the configured frame capacity and big-frame
+    /// promotion was disabled.
+    TupleTooLarge { tuple: usize, capacity: usize },
+    /// Malformed frame or tuple bytes.
+    BadFrame(String),
+    /// An expression evaluator or aggregator failed.
+    Eval(String),
+    /// A scan source failed (I/O, parse).
+    Source(String),
+    /// Job-graph validation failed (unknown stage, cycle, arity mismatch).
+    BadJob(String),
+    /// A worker thread panicked or a channel was severed unexpectedly.
+    Worker(String),
+    /// The job exceeded its configured memory budget (used by baselines
+    /// simulating memory-limited systems).
+    OutOfMemory { requested: usize, budget: usize },
+}
+
+impl fmt::Display for DataflowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataflowError::TupleTooLarge { tuple, capacity } => {
+                write!(
+                    f,
+                    "tuple of {tuple} bytes exceeds frame capacity {capacity}"
+                )
+            }
+            DataflowError::BadFrame(m) => write!(f, "bad frame: {m}"),
+            DataflowError::Eval(m) => write!(f, "evaluation error: {m}"),
+            DataflowError::Source(m) => write!(f, "source error: {m}"),
+            DataflowError::BadJob(m) => write!(f, "invalid job: {m}"),
+            DataflowError::Worker(m) => write!(f, "worker failure: {m}"),
+            DataflowError::OutOfMemory { requested, budget } => {
+                write!(
+                    f,
+                    "out of memory: requested {requested} bytes with budget {budget}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DataflowError {}
+
+impl From<jdm::JdmError> for DataflowError {
+    fn from(e: jdm::JdmError) -> Self {
+        DataflowError::Eval(e.to_string())
+    }
+}

@@ -1,0 +1,256 @@
+//! Job specifications: a DAG of stages connected by exchanges.
+//!
+//! A *stage* is a fused chain of operators executed once per partition.
+//! Stage boundaries exist exactly where the physical plan inserts an
+//! exchange (or where a second input joins in). The language layer builds
+//! a [`JobSpec`] from its physical plan; [`crate::cluster::Cluster::run`]
+//! executes it.
+
+use crate::context::TaskContext;
+use crate::error::{DataflowError, Result};
+use crate::frame::Frame;
+use crate::ops::eval::ScanSourceFactory;
+use crate::ops::BoxWriter;
+use std::sync::Arc;
+
+/// Index into [`JobSpec::stages`].
+pub type StageId = usize;
+
+/// How many tasks a stage runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Parallelism {
+    /// One task per cluster partition.
+    Full,
+    /// A single task (global aggregation, final merge).
+    One,
+}
+
+/// How a stage's input frames are routed from its producer.
+#[derive(Debug, Clone)]
+pub enum Connector {
+    /// Same-partition forwarding; producer and consumer have equal
+    /// parallelism.
+    OneToOne,
+    /// Repartition by hash of these tuple fields.
+    Hash { key_fields: Vec<usize> },
+    /// All producer partitions feed the consumer's single partition.
+    MergeToOne,
+}
+
+/// One input edge of a stage.
+#[derive(Clone)]
+pub struct StageInput {
+    pub from: StageId,
+    pub connector: Connector,
+}
+
+/// Builds the fused operator chain of a stage for one partition. `out` is
+/// the runtime-provided tail (exchange sender or result collector); the
+/// factory returns the head the runtime pushes frames into.
+pub trait PipeFactory: Send + Sync {
+    fn create(&self, ctx: &TaskContext, out: BoxWriter) -> Result<BoxWriter>;
+}
+
+/// An identity chain (stage is just routing).
+pub struct IdentityPipe;
+
+impl PipeFactory for IdentityPipe {
+    fn create(&self, _ctx: &TaskContext, out: BoxWriter) -> Result<BoxWriter> {
+        Ok(out)
+    }
+}
+
+/// A two-input operator (hash join): consumes the whole build input, then
+/// streams the probe input.
+pub trait TwoInputOp: Send {
+    fn open(&mut self) -> Result<()>;
+    fn build_frame(&mut self, frame: &Frame) -> Result<()>;
+    /// Called after the last build frame, before the first probe frame.
+    fn build_done(&mut self) -> Result<()> {
+        Ok(())
+    }
+    fn probe_frame(&mut self, frame: &Frame) -> Result<()>;
+    fn close(&mut self) -> Result<()>;
+}
+
+/// Builds the two-input operator of a join stage.
+pub trait TwoInputFactory: Send + Sync {
+    fn create(&self, ctx: &TaskContext, out: BoxWriter) -> Result<Box<dyn TwoInputOp>>;
+}
+
+/// What a stage does.
+pub enum StageKind {
+    /// A self-driving scan (EMPTY-TUPLE-SOURCE + DATASCAN) feeding a fused
+    /// operator chain.
+    Source {
+        scan: Arc<dyn ScanSourceFactory>,
+        chain: Arc<dyn PipeFactory>,
+    },
+    /// A chain fed by one upstream edge.
+    Pipe {
+        input: StageInput,
+        chain: Arc<dyn PipeFactory>,
+    },
+    /// A two-input operator fed by a build edge and a probe edge.
+    Join {
+        build: StageInput,
+        probe: StageInput,
+        factory: Arc<dyn TwoInputFactory>,
+    },
+}
+
+/// One stage of the job.
+pub struct Stage {
+    pub kind: StageKind,
+    pub parallelism: Parallelism,
+}
+
+/// A complete job: stages indexed by [`StageId`]; the unique stage that no
+/// other stage consumes is the terminal stage, whose output frames become
+/// the query result.
+#[derive(Default)]
+pub struct JobSpec {
+    pub stages: Vec<Stage>,
+}
+
+impl JobSpec {
+    pub fn new() -> Self {
+        JobSpec::default()
+    }
+
+    /// Append a stage, returning its id.
+    pub fn add(&mut self, stage: Stage) -> StageId {
+        self.stages.push(stage);
+        self.stages.len() - 1
+    }
+
+    /// Inputs of a stage (0, 1 or 2 edges).
+    pub fn inputs(&self, id: StageId) -> Vec<&StageInput> {
+        match &self.stages[id].kind {
+            StageKind::Source { .. } => vec![],
+            StageKind::Pipe { input, .. } => vec![input],
+            StageKind::Join { build, probe, .. } => vec![build, probe],
+        }
+    }
+
+    /// The terminal stage (validated: exactly one).
+    pub fn terminal(&self) -> Result<StageId> {
+        let mut consumed = vec![false; self.stages.len()];
+        for id in 0..self.stages.len() {
+            for input in self.inputs(id) {
+                if input.from >= self.stages.len() {
+                    return Err(DataflowError::BadJob(format!(
+                        "stage {id} reads from unknown stage {}",
+                        input.from
+                    )));
+                }
+                consumed[input.from] = true;
+            }
+        }
+        let terminals: Vec<StageId> = (0..self.stages.len()).filter(|&i| !consumed[i]).collect();
+        match terminals.as_slice() {
+            [t] => Ok(*t),
+            [] => Err(DataflowError::BadJob(
+                "job has a cycle (no terminal stage)".into(),
+            )),
+            many => Err(DataflowError::BadJob(format!(
+                "multiple terminal stages: {many:?}"
+            ))),
+        }
+    }
+
+    /// Validate connector / parallelism compatibility.
+    pub fn validate(&self) -> Result<()> {
+        let _ = self.terminal()?;
+        for id in 0..self.stages.len() {
+            let dst_par = self.stages[id].parallelism;
+            for input in self.inputs(id) {
+                let src_par = self.stages[input.from].parallelism;
+                let ok = match input.connector {
+                    Connector::OneToOne => src_par == dst_par,
+                    Connector::Hash { .. } => true,
+                    Connector::MergeToOne => dst_par == Parallelism::One,
+                };
+                if !ok {
+                    return Err(DataflowError::BadJob(format!(
+                        "stage {id}: connector {:?} incompatible with parallelism {:?} -> {:?}",
+                        input.connector, src_par, dst_par
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::eval::{ScanSource, TupleEmitter};
+
+    struct NullScan;
+    impl ScanSource for NullScan {
+        fn run(&mut self, _emit: &mut TupleEmitter<'_>) -> Result<()> {
+            Ok(())
+        }
+    }
+    struct NullScanFactory;
+    impl ScanSourceFactory for NullScanFactory {
+        fn create(&self, _ctx: &TaskContext) -> Result<Box<dyn ScanSource>> {
+            Ok(Box::new(NullScan))
+        }
+    }
+
+    fn source_stage() -> Stage {
+        Stage {
+            kind: StageKind::Source {
+                scan: Arc::new(NullScanFactory),
+                chain: Arc::new(IdentityPipe),
+            },
+            parallelism: Parallelism::Full,
+        }
+    }
+
+    #[test]
+    fn terminal_detection() {
+        let mut job = JobSpec::new();
+        let s = job.add(source_stage());
+        let p = job.add(Stage {
+            kind: StageKind::Pipe {
+                input: StageInput {
+                    from: s,
+                    connector: Connector::OneToOne,
+                },
+                chain: Arc::new(IdentityPipe),
+            },
+            parallelism: Parallelism::Full,
+        });
+        assert_eq!(job.terminal().unwrap(), p);
+        job.validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_multiple_terminals() {
+        let mut job = JobSpec::new();
+        job.add(source_stage());
+        job.add(source_stage());
+        assert!(job.terminal().is_err());
+    }
+
+    #[test]
+    fn rejects_bad_merge_parallelism() {
+        let mut job = JobSpec::new();
+        let s = job.add(source_stage());
+        job.add(Stage {
+            kind: StageKind::Pipe {
+                input: StageInput {
+                    from: s,
+                    connector: Connector::MergeToOne,
+                },
+                chain: Arc::new(IdentityPipe),
+            },
+            parallelism: Parallelism::Full, // wrong: must be One
+        });
+        assert!(job.validate().is_err());
+    }
+}

@@ -1,0 +1,45 @@
+//! # dataflow — a partitioned-parallel dataflow runtime (the Hyracks analog)
+//!
+//! This crate reproduces the substrate the paper's system runs on:
+//! *Hyracks* (Borkar et al., ICDE 2011), "a flexible and extensible
+//! foundation for data-intensive computing". Like Hyracks it is
+//! **data-agnostic**: it moves fixed-size [`frame::Frame`]s of serialized
+//! tuples between push-based operators and knows nothing about JSON — the
+//! language layer (`vxq-core`) supplies expression evaluators, aggregators,
+//! and scan sources as trait objects.
+//!
+//! Components:
+//!
+//! * [`frame`] — fixed-size frames with an end-of-frame tuple index
+//!   (Hyracks' frame layout), appenders and zero-copy accessors.
+//! * [`ops`] — physical operators: empty-tuple-source, data scan, assign,
+//!   select, unnest, aggregate, subplan, hash & pre-clustered group-by,
+//!   hash join, materializing group-by (the *pre-rewrite* plans need it).
+//! * [`exchange`] — connectors between stages: one-to-one, hash
+//!   partitioning, and merge-to-one, backed by bounded channels.
+//! * [`job`] / [`cluster`] — job specifications (stage DAG) executed on a
+//!   simulated cluster of `nodes × partitions_per_node` worker threads,
+//!   with per-node core limits so that CPU-bound oversubscription behaves
+//!   like the paper's hyper-threading experiment (Fig. 17).
+//! * [`stats`] — memory and network accounting (peak materialized bytes,
+//!   bytes crossing node boundaries), used by the Table-3 reproduction.
+
+pub mod cluster;
+pub mod context;
+pub mod cputime;
+pub mod error;
+pub mod exchange;
+pub mod frame;
+pub mod job;
+pub mod ops;
+pub mod stats;
+
+pub use cluster::{Cluster, ClusterSpec, Rows};
+pub use context::{CoreGate, TaskContext};
+pub use error::{DataflowError, Result};
+pub use frame::{Frame, FrameAppender, TupleRef};
+pub use job::{
+    Connector, IdentityPipe, JobSpec, Parallelism, PipeFactory, Stage, StageId, StageInput,
+    StageKind, TwoInputFactory, TwoInputOp,
+};
+pub use stats::{JobStats, MemTracker};

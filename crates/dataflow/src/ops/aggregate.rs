@@ -1,0 +1,86 @@
+//! AGGREGATE — fold an entire input stream into one tuple.
+
+use super::eval::Aggregator;
+use super::{BoxWriter, FrameWriter, OutBuffer};
+use crate::error::Result;
+use crate::frame::Frame;
+
+/// Global aggregation (paper §3.2): "executes an aggregate expression to
+/// create a result tuple from a stream of input tuples. The result is held
+/// until all tuples are processed and then returned in a single tuple."
+///
+/// With the two-step aggregation rule, one `AggregateOp` per partition
+/// computes a local aggregate and a second, single-partition instance
+/// merges them — both are this operator with different aggregator
+/// factories.
+pub struct AggregateOp {
+    agg: Box<dyn Aggregator>,
+    out: OutBuffer,
+}
+
+impl AggregateOp {
+    pub fn new(agg: Box<dyn Aggregator>, frame_size: usize, out: BoxWriter) -> Self {
+        AggregateOp {
+            agg,
+            out: OutBuffer::new(frame_size, out),
+        }
+    }
+}
+
+impl FrameWriter for AggregateOp {
+    fn open(&mut self) -> Result<()> {
+        self.out.open()
+    }
+
+    fn next_frame(&mut self, frame: &Frame) -> Result<()> {
+        for t in frame.tuples() {
+            self.agg.step(&t)?;
+        }
+        Ok(())
+    }
+
+    fn close(&mut self) -> Result<()> {
+        let mut result = Vec::new();
+        self.agg.finish(&mut result)?;
+        self.out.push_fields(&[&result])?;
+        self.out.close()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{feed, CaptureWriter};
+    use super::*;
+    use crate::frame::TupleRef;
+    use jdm::binary::write_item;
+    use jdm::Item;
+
+    struct CountAgg(i64);
+    impl Aggregator for CountAgg {
+        fn step(&mut self, _t: &TupleRef<'_>) -> Result<()> {
+            self.0 += 1;
+            Ok(())
+        }
+        fn finish(&mut self, out: &mut Vec<u8>) -> Result<()> {
+            write_item(&Item::int(self.0), out);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn aggregate_counts_stream() {
+        let cap = CaptureWriter::new();
+        let mut op = AggregateOp::new(Box::new(CountAgg(0)), 1024, Box::new(cap.clone()));
+        let rows: Vec<Vec<Item>> = (0..25).map(|i| vec![Item::int(i)]).collect();
+        feed(&mut op, &rows);
+        assert_eq!(cap.take(), vec![vec![Item::int(25)]]);
+    }
+
+    #[test]
+    fn aggregate_of_empty_stream_still_emits() {
+        let cap = CaptureWriter::new();
+        let mut op = AggregateOp::new(Box::new(CountAgg(0)), 1024, Box::new(cap.clone()));
+        feed(&mut op, &[]);
+        assert_eq!(cap.take(), vec![vec![Item::int(0)]]);
+    }
+}

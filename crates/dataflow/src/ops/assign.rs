@@ -1,0 +1,87 @@
+//! ASSIGN — evaluate a scalar expression, append the result as a new field.
+
+use super::eval::ScalarEvaluator;
+use super::{BoxWriter, FrameWriter, OutBuffer};
+use crate::error::Result;
+use crate::frame::Frame;
+
+/// The ASSIGN operator of the paper's plans: executes a scalar expression
+/// on each tuple and adds the result as a new field (paper §3.2).
+///
+/// SUBPLAN is compiled to an `AssignOp` whose evaluator runs the nested
+/// plan (UNNEST + AGGREGATE) per tuple — the nested plan consumes exactly
+/// one field and yields exactly one item, so it *is* a scalar evaluator.
+pub struct AssignOp {
+    eval: Box<dyn ScalarEvaluator>,
+    out: OutBuffer,
+    scratch: Vec<u8>,
+}
+
+impl AssignOp {
+    pub fn new(eval: Box<dyn ScalarEvaluator>, frame_size: usize, out: BoxWriter) -> Self {
+        AssignOp {
+            eval,
+            out: OutBuffer::new(frame_size, out),
+            scratch: Vec::new(),
+        }
+    }
+}
+
+impl FrameWriter for AssignOp {
+    fn open(&mut self) -> Result<()> {
+        self.out.open()
+    }
+
+    fn next_frame(&mut self, frame: &Frame) -> Result<()> {
+        for t in frame.tuples() {
+            self.scratch.clear();
+            self.eval.eval(&t, &mut self.scratch)?;
+            let extra = std::mem::take(&mut self.scratch);
+            self.out.push_extended(&t, &[&extra])?;
+            self.scratch = extra;
+        }
+        Ok(())
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.out.close()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{feed, CaptureWriter};
+    use super::*;
+    use crate::frame::TupleRef;
+    use jdm::binary::{write_item, ItemRef};
+    use jdm::Item;
+
+    /// Evaluator: result = first field's "k" member.
+    struct GetK;
+    impl ScalarEvaluator for GetK {
+        fn eval(&mut self, tuple: &TupleRef<'_>, out: &mut Vec<u8>) -> Result<()> {
+            let r = ItemRef::new(tuple.field(0)).unwrap();
+            match r.get_key("k") {
+                Some(v) => out.extend_from_slice(v.bytes()),
+                None => write_item(&Item::Null, out),
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn assign_appends_field() {
+        let cap = CaptureWriter::new();
+        let mut op = AssignOp::new(Box::new(GetK), 1024, Box::new(cap.clone()));
+        let rows = vec![
+            vec![Item::Object(vec![("k".into(), Item::int(7))])],
+            vec![Item::Object(vec![("x".into(), Item::int(1))])],
+        ];
+        feed(&mut op, &rows);
+        let got = cap.take();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], vec![rows[0][0].clone(), Item::int(7)]);
+        assert_eq!(got[1], vec![rows[1][0].clone(), Item::Null]);
+        assert!(*cap.closed.lock().unwrap());
+    }
+}

@@ -1,0 +1,320 @@
+//! GROUP-BY — grouped aggregation, in both the paper's *before* and
+//! *after* forms.
+//!
+//! * [`MaterializingGroupByOp`] is the pre-rewrite plan (Fig. 9): the inner
+//!   focus is `AGGREGATE sequence`, so every group buffers a **sequence of
+//!   its members** and downstream operators compute `count(...)` over the
+//!   materialized sequence. Its memory use is reported to the tracker —
+//!   this is what the group-by rules eliminate.
+//! * [`HashGroupByOp`] is the post-rewrite plan (Fig. 12): the aggregate is
+//!   pushed into the group-by, so each group holds only incremental
+//!   aggregator state ("the count function is computed at the same time
+//!   that each group is formed, without creating any sequences").
+
+use super::eval::{Aggregator, AggregatorFactory};
+use super::{BoxWriter, FrameWriter, OutBuffer};
+use crate::error::Result;
+use crate::frame::{Frame, TupleRef};
+use crate::stats::MemTracker;
+use jdm::binary::{item_len, write_sequence_from_parts};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Concatenated serialized key items, splittable via `item_len`.
+type GroupKey = Box<[u8]>;
+
+fn extract_key(t: &TupleRef<'_>, key_fields: &[usize]) -> GroupKey {
+    let mut key = Vec::new();
+    for &i in key_fields {
+        key.extend_from_slice(t.field(i));
+    }
+    key.into_boxed_slice()
+}
+
+/// Split a concatenated key back into per-field slices.
+fn split_key(key: &[u8], n: usize) -> Vec<&[u8]> {
+    let mut out = Vec::with_capacity(n);
+    let mut rest = key;
+    for _ in 0..n {
+        let len = item_len(rest).expect("well-formed key bytes");
+        out.push(&rest[..len]);
+        rest = &rest[len..];
+    }
+    out
+}
+
+/// Hash-based grouped aggregation with incremental per-group state.
+/// Output tuples: `(key fields ..., aggregate result)`.
+pub struct HashGroupByOp {
+    key_fields: Vec<usize>,
+    factory: Arc<dyn AggregatorFactory>,
+    groups: HashMap<GroupKey, Box<dyn Aggregator>>,
+    mem: Arc<MemTracker>,
+    tracked: usize,
+    out: OutBuffer,
+}
+
+impl HashGroupByOp {
+    pub fn new(
+        key_fields: Vec<usize>,
+        factory: Arc<dyn AggregatorFactory>,
+        mem: Arc<MemTracker>,
+        frame_size: usize,
+        out: BoxWriter,
+    ) -> Self {
+        HashGroupByOp {
+            key_fields,
+            factory,
+            groups: HashMap::new(),
+            mem,
+            tracked: 0,
+            out: OutBuffer::new(frame_size, out),
+        }
+    }
+}
+
+impl FrameWriter for HashGroupByOp {
+    fn open(&mut self) -> Result<()> {
+        self.out.open()
+    }
+
+    fn next_frame(&mut self, frame: &Frame) -> Result<()> {
+        for t in frame.tuples() {
+            let key = extract_key(&t, &self.key_fields);
+            let agg = self.groups.entry(key).or_insert_with(|| {
+                self.tracked += 64; // key + fixed state estimate
+                self.mem.alloc(64);
+                self.factory.create()
+            });
+            agg.step(&t)?;
+        }
+        Ok(())
+    }
+
+    fn close(&mut self) -> Result<()> {
+        // Deterministic output order is left to consumers (group order is
+        // hash-table order, as in a real hash group-by).
+        let groups = std::mem::take(&mut self.groups);
+        let nkeys = self.key_fields.len();
+        let mut result = Vec::new();
+        for (key, mut agg) in groups {
+            result.clear();
+            agg.finish(&mut result)?;
+            let mut fields = split_key(&key, nkeys);
+            fields.push(&result);
+            self.out.push_fields(&fields)?;
+        }
+        self.mem.free(self.tracked);
+        self.tracked = 0;
+        self.out.close()
+    }
+}
+
+/// Pre-rewrite grouped aggregation: buffers each group's members of field
+/// `seq_field` as a sequence. Output tuples: `(key fields ..., sequence)`.
+pub struct MaterializingGroupByOp {
+    key_fields: Vec<usize>,
+    seq_field: usize,
+    groups: HashMap<GroupKey, Vec<Vec<u8>>>,
+    mem: Arc<MemTracker>,
+    tracked: usize,
+    out: OutBuffer,
+}
+
+impl MaterializingGroupByOp {
+    pub fn new(
+        key_fields: Vec<usize>,
+        seq_field: usize,
+        mem: Arc<MemTracker>,
+        frame_size: usize,
+        out: BoxWriter,
+    ) -> Self {
+        MaterializingGroupByOp {
+            key_fields,
+            seq_field,
+            groups: HashMap::new(),
+            mem,
+            tracked: 0,
+            out: OutBuffer::new(frame_size, out),
+        }
+    }
+}
+
+impl FrameWriter for MaterializingGroupByOp {
+    fn open(&mut self) -> Result<()> {
+        self.out.open()
+    }
+
+    fn next_frame(&mut self, frame: &Frame) -> Result<()> {
+        for t in frame.tuples() {
+            let key = extract_key(&t, &self.key_fields);
+            let member = t.field(self.seq_field).to_vec();
+            self.tracked += member.len();
+            self.mem.alloc(member.len());
+            self.groups.entry(key).or_default().push(member);
+        }
+        Ok(())
+    }
+
+    fn close(&mut self) -> Result<()> {
+        let groups = std::mem::take(&mut self.groups);
+        let nkeys = self.key_fields.len();
+        let mut seq = Vec::new();
+        for (key, members) in groups {
+            seq.clear();
+            let parts: Vec<&[u8]> = members.iter().map(|m| m.as_slice()).collect();
+            write_sequence_from_parts(&parts, &mut seq);
+            let mut fields = split_key(&key, nkeys);
+            fields.push(&seq);
+            self.out.push_fields(&fields)?;
+        }
+        self.mem.free(self.tracked);
+        self.tracked = 0;
+        self.out.close()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{feed, CaptureWriter};
+    use super::*;
+    use jdm::binary::write_item;
+    use jdm::Item;
+
+    struct CountAgg(i64);
+    impl Aggregator for CountAgg {
+        fn step(&mut self, _t: &TupleRef<'_>) -> Result<()> {
+            self.0 += 1;
+            Ok(())
+        }
+        fn finish(&mut self, out: &mut Vec<u8>) -> Result<()> {
+            write_item(&Item::int(self.0), out);
+            Ok(())
+        }
+    }
+
+    struct CountFactory;
+    impl AggregatorFactory for CountFactory {
+        fn create(&self) -> Box<dyn Aggregator> {
+            Box::new(CountAgg(0))
+        }
+    }
+
+    fn rows() -> Vec<Vec<Item>> {
+        // (key, payload) pairs: a×3, b×2, c×1
+        [("a", 1), ("b", 2), ("a", 3), ("c", 4), ("a", 5), ("b", 6)]
+            .iter()
+            .map(|(k, v)| vec![Item::str(*k), Item::int(*v)])
+            .collect()
+    }
+
+    fn sorted(mut rows: Vec<Vec<Item>>) -> Vec<Vec<Item>> {
+        rows.sort_by(|a, b| a[0].total_cmp(&b[0]));
+        rows
+    }
+
+    #[test]
+    fn hash_group_by_counts_per_group() {
+        let cap = CaptureWriter::new();
+        let mem = MemTracker::new();
+        let mut op = HashGroupByOp::new(
+            vec![0],
+            Arc::new(CountFactory),
+            mem.clone(),
+            1024,
+            Box::new(cap.clone()),
+        );
+        feed(&mut op, &rows());
+        let got = sorted(cap.take());
+        assert_eq!(
+            got,
+            vec![
+                vec![Item::str("a"), Item::int(3)],
+                vec![Item::str("b"), Item::int(2)],
+                vec![Item::str("c"), Item::int(1)],
+            ]
+        );
+        assert_eq!(mem.current(), 0, "state freed at close");
+    }
+
+    #[test]
+    fn materializing_group_by_builds_sequences() {
+        let cap = CaptureWriter::new();
+        let mem = MemTracker::new();
+        let mut op =
+            MaterializingGroupByOp::new(vec![0], 1, mem.clone(), 1024, Box::new(cap.clone()));
+        feed(&mut op, &rows());
+        let got = sorted(cap.take());
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0][0], Item::str("a"));
+        assert_eq!(
+            got[0][1],
+            Item::seq([Item::int(1), Item::int(3), Item::int(5)])
+        );
+        assert_eq!(got[2][1], Item::seq([Item::int(4)]));
+        // Materialization was visible to the memory tracker.
+        assert!(mem.peak() > 0);
+        assert_eq!(mem.current(), 0);
+    }
+
+    #[test]
+    fn materializing_uses_more_memory_than_hash() {
+        let big_rows: Vec<Vec<Item>> = (0..200)
+            .map(|i| {
+                vec![
+                    Item::str("samekey"),
+                    Item::str("x".repeat(50) + &i.to_string()),
+                ]
+            })
+            .collect();
+
+        let mem_mat = MemTracker::new();
+        let mut mat = MaterializingGroupByOp::new(
+            vec![0],
+            1,
+            mem_mat.clone(),
+            4096,
+            Box::new(CaptureWriter::new()),
+        );
+        feed(&mut mat, &big_rows);
+
+        let mem_hash = MemTracker::new();
+        let mut hash = HashGroupByOp::new(
+            vec![0],
+            Arc::new(CountFactory),
+            mem_hash.clone(),
+            4096,
+            Box::new(CaptureWriter::new()),
+        );
+        feed(&mut hash, &big_rows);
+
+        assert!(
+            mem_mat.peak() > 10 * mem_hash.peak(),
+            "materializing {} vs hash {}",
+            mem_mat.peak(),
+            mem_hash.peak()
+        );
+    }
+
+    #[test]
+    fn multi_field_keys() {
+        let cap = CaptureWriter::new();
+        let mut op = HashGroupByOp::new(
+            vec![0, 1],
+            Arc::new(CountFactory),
+            MemTracker::new(),
+            1024,
+            Box::new(cap.clone()),
+        );
+        let rows = vec![
+            vec![Item::str("s"), Item::int(1), Item::int(10)],
+            vec![Item::str("s"), Item::int(1), Item::int(20)],
+            vec![Item::str("s"), Item::int(2), Item::int(30)],
+        ];
+        feed(&mut op, &rows);
+        let mut got = cap.take();
+        got.sort_by(|a, b| a[1].total_cmp(&b[1]));
+        assert_eq!(got[0], vec![Item::str("s"), Item::int(1), Item::int(2)]);
+        assert_eq!(got[1], vec![Item::str("s"), Item::int(2), Item::int(1)]);
+    }
+}

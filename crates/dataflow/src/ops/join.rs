@@ -1,0 +1,204 @@
+//! Hash join (build + probe), used by the self-join query Q2.
+
+use super::{BoxWriter, FrameWriter, OutBuffer};
+use crate::error::Result;
+use crate::frame::{Frame, TupleRef};
+use crate::stats::MemTracker;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// In-memory equi hash join. The runtime feeds the whole build side first
+/// (via [`HashJoinOp::build_frame`]), then streams the probe side. Output
+/// tuples are `probe fields ++ build fields`.
+///
+/// The build table is reported to the memory tracker: it is *the* big
+/// materialized state of Q2 and dominates the join's footprint.
+pub struct HashJoinOp {
+    build_keys: Vec<usize>,
+    probe_keys: Vec<usize>,
+    table: HashMap<Box<[u8]>, Vec<Box<[u8]>>>,
+    mem: Arc<MemTracker>,
+    tracked: usize,
+    out: OutBuffer,
+}
+
+impl HashJoinOp {
+    pub fn new(
+        build_keys: Vec<usize>,
+        probe_keys: Vec<usize>,
+        mem: Arc<MemTracker>,
+        frame_size: usize,
+        out: BoxWriter,
+    ) -> Self {
+        HashJoinOp {
+            build_keys,
+            probe_keys,
+            table: HashMap::new(),
+            mem,
+            tracked: 0,
+            out: OutBuffer::new(frame_size, out),
+        }
+    }
+
+    fn key_of(t: &TupleRef<'_>, fields: &[usize]) -> Box<[u8]> {
+        let mut key = Vec::new();
+        for &i in fields {
+            key.extend_from_slice(t.field(i));
+        }
+        key.into_boxed_slice()
+    }
+
+    /// Add one build-side frame to the table.
+    pub fn build_frame(&mut self, frame: &Frame) -> Result<()> {
+        for t in frame.tuples() {
+            let key = Self::key_of(&t, &self.build_keys);
+            let bytes: Box<[u8]> = t.bytes().into();
+            self.tracked += key.len() + bytes.len();
+            self.mem.alloc(key.len() + bytes.len());
+            self.table.entry(key).or_default().push(bytes);
+        }
+        Ok(())
+    }
+
+    /// Stream one probe-side frame, emitting matches.
+    pub fn probe_frame(&mut self, frame: &Frame) -> Result<()> {
+        for t in frame.tuples() {
+            let key = Self::key_of(&t, &self.probe_keys);
+            if let Some(matches) = self.table.get(key.as_ref()) {
+                for m in matches {
+                    let build = TupleRef::from_bytes(m);
+                    let mut fields: Vec<&[u8]> =
+                        Vec::with_capacity(t.field_count() + build.field_count());
+                    fields.extend(t.fields());
+                    fields.extend(build.fields());
+                    self.out.push_fields(&fields)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FrameWriter for HashJoinOp {
+    fn open(&mut self) -> Result<()> {
+        self.out.open()
+    }
+
+    /// When used as a plain `FrameWriter`, frames are treated as probe
+    /// input (the job runtime feeds build frames explicitly first).
+    fn next_frame(&mut self, frame: &Frame) -> Result<()> {
+        self.probe_frame(frame)
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.table.clear();
+        self.mem.free(self.tracked);
+        self.tracked = 0;
+        self.out.close()
+    }
+}
+
+impl crate::job::TwoInputOp for HashJoinOp {
+    fn open(&mut self) -> Result<()> {
+        FrameWriter::open(self)
+    }
+    fn build_frame(&mut self, frame: &Frame) -> Result<()> {
+        HashJoinOp::build_frame(self, frame)
+    }
+    fn probe_frame(&mut self, frame: &Frame) -> Result<()> {
+        HashJoinOp::probe_frame(self, frame)
+    }
+    fn close(&mut self) -> Result<()> {
+        FrameWriter::close(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{feed, CaptureWriter};
+    use super::*;
+    use jdm::binary::to_bytes;
+    use jdm::Item;
+
+    fn to_frames(rows: &[Vec<Item>]) -> Vec<Frame> {
+        let encoded: Vec<Vec<Vec<u8>>> = rows
+            .iter()
+            .map(|r| r.iter().map(to_bytes).collect())
+            .collect();
+        crate::frame::frames_from_rows(&encoded, 4096)
+    }
+
+    #[test]
+    fn joins_on_key() {
+        let cap = CaptureWriter::new();
+        let mem = MemTracker::new();
+        let mut join = HashJoinOp::new(vec![0], vec![0], mem.clone(), 1024, Box::new(cap.clone()));
+        join.open().unwrap();
+        for f in to_frames(&[
+            vec![Item::str("a"), Item::int(1)],
+            vec![Item::str("b"), Item::int(2)],
+            vec![Item::str("a"), Item::int(3)],
+        ]) {
+            join.build_frame(&f).unwrap();
+        }
+        for f in to_frames(&[
+            vec![Item::str("a"), Item::int(10)],
+            vec![Item::str("c"), Item::int(30)],
+        ]) {
+            join.probe_frame(&f).unwrap();
+        }
+        join.close().unwrap();
+
+        let mut got = cap.take();
+        got.sort_by(|a, b| a[3].total_cmp(&b[3]));
+        assert_eq!(
+            got,
+            vec![
+                vec![Item::str("a"), Item::int(10), Item::str("a"), Item::int(1)],
+                vec![Item::str("a"), Item::int(10), Item::str("a"), Item::int(3)],
+            ]
+        );
+        assert_eq!(mem.current(), 0);
+        assert!(mem.peak() > 0);
+    }
+
+    #[test]
+    fn empty_build_side_yields_nothing() {
+        let cap = CaptureWriter::new();
+        let mut join = HashJoinOp::new(
+            vec![0],
+            vec![0],
+            MemTracker::new(),
+            1024,
+            Box::new(cap.clone()),
+        );
+        feed(&mut join, &[vec![Item::str("a")]]); // probe only
+        assert!(cap.take().is_empty());
+    }
+
+    #[test]
+    fn composite_keys_must_match_all_fields() {
+        let cap = CaptureWriter::new();
+        let mut join = HashJoinOp::new(
+            vec![0, 1],
+            vec![0, 1],
+            MemTracker::new(),
+            1024,
+            Box::new(cap.clone()),
+        );
+        join.open().unwrap();
+        for f in to_frames(&[vec![Item::str("s"), Item::int(1), Item::str("build")]]) {
+            join.build_frame(&f).unwrap();
+        }
+        for f in to_frames(&[
+            vec![Item::str("s"), Item::int(1), Item::str("hit")],
+            vec![Item::str("s"), Item::int(2), Item::str("miss")],
+        ]) {
+            join.probe_frame(&f).unwrap();
+        }
+        join.close().unwrap();
+        let got = cap.take();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0][2], Item::str("hit"));
+    }
+}

@@ -1,0 +1,55 @@
+//! PROJECT — keep a subset of fields (plan-narrowing between operators).
+
+use super::{BoxWriter, FrameWriter, OutBuffer};
+use crate::error::Result;
+use crate::frame::Frame;
+
+/// Keeps only the listed fields, in the given order. The optimizer inserts
+/// these after operators whose inputs are no longer live, keeping frames
+/// small (the same spirit as the paper's "smaller tuples" observations).
+pub struct ProjectOp {
+    keep: Vec<usize>,
+    out: OutBuffer,
+}
+
+impl ProjectOp {
+    pub fn new(keep: Vec<usize>, frame_size: usize, out: BoxWriter) -> Self {
+        ProjectOp {
+            keep,
+            out: OutBuffer::new(frame_size, out),
+        }
+    }
+}
+
+impl FrameWriter for ProjectOp {
+    fn open(&mut self) -> Result<()> {
+        self.out.open()
+    }
+
+    fn next_frame(&mut self, frame: &Frame) -> Result<()> {
+        for t in frame.tuples() {
+            let fields: Vec<&[u8]> = self.keep.iter().map(|&i| t.field(i)).collect();
+            self.out.push_fields(&fields)?;
+        }
+        Ok(())
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.out.close()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{feed, CaptureWriter};
+    use super::*;
+    use jdm::Item;
+
+    #[test]
+    fn project_reorders_and_drops() {
+        let cap = CaptureWriter::new();
+        let mut op = ProjectOp::new(vec![2, 0], 1024, Box::new(cap.clone()));
+        feed(&mut op, &[vec![Item::int(1), Item::int(2), Item::int(3)]]);
+        assert_eq!(cap.take(), vec![vec![Item::int(3), Item::int(1)]]);
+    }
+}

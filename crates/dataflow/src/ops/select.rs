@@ -1,0 +1,90 @@
+//! SELECT — filter tuples by a boolean expression.
+
+use super::eval::ScalarEvaluator;
+use super::{BoxWriter, FrameWriter, OutBuffer};
+use crate::error::Result;
+use crate::frame::Frame;
+use jdm::binary::tag;
+
+/// Filters tuples: the predicate evaluator must produce a boolean item;
+/// `true` keeps the tuple. Any non-`true` result (including null / empty
+/// sequence encodings) drops it, matching XQuery's effective boolean value
+/// of a failed comparison on missing data.
+pub struct SelectOp {
+    predicate: Box<dyn ScalarEvaluator>,
+    out: OutBuffer,
+    scratch: Vec<u8>,
+}
+
+impl SelectOp {
+    pub fn new(predicate: Box<dyn ScalarEvaluator>, frame_size: usize, out: BoxWriter) -> Self {
+        SelectOp {
+            predicate,
+            out: OutBuffer::new(frame_size, out),
+            scratch: Vec::new(),
+        }
+    }
+}
+
+impl FrameWriter for SelectOp {
+    fn open(&mut self) -> Result<()> {
+        self.out.open()
+    }
+
+    fn next_frame(&mut self, frame: &Frame) -> Result<()> {
+        for t in frame.tuples() {
+            self.scratch.clear();
+            self.predicate.eval(&t, &mut self.scratch)?;
+            if self.scratch.first() == Some(&tag::TRUE) {
+                self.out.push_tuple(&t)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.out.close()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{feed, CaptureWriter};
+    use super::*;
+    use crate::frame::TupleRef;
+    use jdm::binary::{write_item, ItemRef};
+    use jdm::{Item, Number};
+
+    /// Keep tuples whose first field is a number > 5.
+    struct GtFive;
+    impl ScalarEvaluator for GtFive {
+        fn eval(&mut self, tuple: &TupleRef<'_>, out: &mut Vec<u8>) -> Result<()> {
+            let keep = ItemRef::new(tuple.field(0))
+                .ok()
+                .and_then(|r| r.as_number())
+                .map(|n| n.num_cmp(Number::Int(5)) == std::cmp::Ordering::Greater)
+                .unwrap_or(false);
+            write_item(&Item::Boolean(keep), out);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn select_filters() {
+        let cap = CaptureWriter::new();
+        let mut op = SelectOp::new(Box::new(GtFive), 1024, Box::new(cap.clone()));
+        let rows: Vec<Vec<Item>> = (0..10).map(|i| vec![Item::int(i)]).collect();
+        feed(&mut op, &rows);
+        let got = cap.take();
+        assert_eq!(got.len(), 4); // 6,7,8,9
+        assert_eq!(got[0], vec![Item::int(6)]);
+    }
+
+    #[test]
+    fn select_drops_non_boolean_results() {
+        let cap = CaptureWriter::new();
+        let mut op = SelectOp::new(Box::new(GtFive), 1024, Box::new(cap.clone()));
+        feed(&mut op, &[vec![Item::str("not a number")]]);
+        assert!(cap.take().is_empty());
+    }
+}

@@ -1,0 +1,37 @@
+//! Result sink: ships final frames to the coordinator thread.
+
+use super::FrameWriter;
+use crate::error::{DataflowError, Result};
+use crate::frame::Frame;
+use crossbeam::channel::Sender;
+
+/// Terminal writer of a job: forwards result frames over a channel to the
+/// coordinator (the paper's "distribution of each object" final step).
+pub struct CollectorWriter {
+    tx: Option<Sender<Frame>>,
+}
+
+impl CollectorWriter {
+    pub fn new(tx: Sender<Frame>) -> Self {
+        CollectorWriter { tx: Some(tx) }
+    }
+}
+
+impl FrameWriter for CollectorWriter {
+    fn open(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    fn next_frame(&mut self, frame: &Frame) -> Result<()> {
+        if let Some(tx) = &self.tx {
+            tx.send(frame.clone())
+                .map_err(|_| DataflowError::Worker("result collector disconnected".into()))?;
+        }
+        Ok(())
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.tx = None; // drop our sender so the coordinator unblocks
+        Ok(())
+    }
+}

@@ -1,0 +1,48 @@
+//! Source driving: turns a [`ScanSource`] into frames pushed down a chain.
+//!
+//! This is the EMPTY-TUPLE-SOURCE + DATASCAN pair of the paper's plans:
+//! the source extends the (conceptual) empty tuple with one field per
+//! produced item and pushes the result into the fused operator chain.
+
+use super::eval::ScanSource;
+use super::{BoxWriter, OutBuffer};
+use crate::error::Result;
+
+/// Run `source` to completion, buffering emitted tuples into frames of
+/// `frame_size` bytes and pushing them into `out` (open/close included).
+pub fn run_source(source: &mut dyn ScanSource, frame_size: usize, out: BoxWriter) -> Result<()> {
+    let mut buf = OutBuffer::new(frame_size, out);
+    buf.open()?;
+    source.run(&mut |fields| buf.push_fields(fields))?;
+    buf.close()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::eval::TupleEmitter;
+    use super::super::testutil::CaptureWriter;
+    use super::*;
+    use jdm::binary::to_bytes;
+    use jdm::Item;
+
+    struct CountingSource(usize);
+    impl ScanSource for CountingSource {
+        fn run(&mut self, emit: &mut TupleEmitter<'_>) -> Result<()> {
+            for i in 0..self.0 {
+                let bytes = to_bytes(&Item::int(i as i64));
+                emit(&[&bytes])?;
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn source_drives_chain() {
+        let cap = CaptureWriter::new();
+        run_source(&mut CountingSource(100), 256, Box::new(cap.clone())).unwrap();
+        let got = cap.take();
+        assert_eq!(got.len(), 100);
+        assert_eq!(got[99], vec![Item::int(99)]);
+        assert!(*cap.closed.lock().unwrap());
+    }
+}

@@ -1,0 +1,204 @@
+//! Memory and network accounting.
+//!
+//! The paper's Table 3 compares the memory footprint of VXQuery (stores
+//! only query-relevant data) against SparkSQL (stores everything); the
+//! pipelining rules' entire purpose is to shrink the bytes materialized
+//! between operators. [`MemTracker`] gives the runtime a cheap, global,
+//! thread-safe way to meter exactly that: operators report allocations of
+//! *materialized state* (sequences, group tables, join tables) and the
+//! tracker keeps the high-water mark.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Thread-safe memory meter with peak tracking and an optional budget.
+#[derive(Debug, Default)]
+pub struct MemTracker {
+    current: AtomicU64,
+    peak: AtomicU64,
+    /// 0 = unlimited.
+    budget: AtomicU64,
+}
+
+impl MemTracker {
+    /// Unlimited tracker.
+    pub fn new() -> Arc<Self> {
+        Arc::new(MemTracker::default())
+    }
+
+    /// Tracker that reports when allocations exceed `budget` bytes (the
+    /// baselines use this to simulate memory-limited systems).
+    pub fn with_budget(budget: usize) -> Arc<Self> {
+        let t = MemTracker::default();
+        t.budget.store(budget as u64, Ordering::Relaxed);
+        Arc::new(t)
+    }
+
+    /// Record an allocation of materialized state. Returns `false` when the
+    /// budget would be exceeded (the caller decides whether that is fatal).
+    pub fn alloc(&self, bytes: usize) -> bool {
+        let now = self.current.fetch_add(bytes as u64, Ordering::Relaxed) + bytes as u64;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+        let budget = self.budget.load(Ordering::Relaxed);
+        budget == 0 || now <= budget
+    }
+
+    /// Record a release.
+    pub fn free(&self, bytes: usize) {
+        self.current.fetch_sub(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Bytes currently accounted.
+    pub fn current(&self) -> usize {
+        self.current.load(Ordering::Relaxed) as usize
+    }
+
+    /// High-water mark.
+    pub fn peak(&self) -> usize {
+        self.peak.load(Ordering::Relaxed) as usize
+    }
+
+    /// Configured budget (0 = unlimited).
+    pub fn budget(&self) -> usize {
+        self.budget.load(Ordering::Relaxed) as usize
+    }
+
+    /// Reset counters (between benchmark runs).
+    pub fn reset(&self) {
+        self.current.store(0, Ordering::Relaxed);
+        self.peak.store(0, Ordering::Relaxed);
+    }
+}
+
+/// RAII reservation that frees its bytes on drop.
+pub struct MemReservation {
+    tracker: Arc<MemTracker>,
+    bytes: usize,
+}
+
+impl MemReservation {
+    /// Reserve `bytes`, returning `None` if the budget is exceeded.
+    pub fn try_new(tracker: Arc<MemTracker>, bytes: usize) -> Option<Self> {
+        if tracker.alloc(bytes) {
+            Some(MemReservation { tracker, bytes })
+        } else {
+            tracker.free(bytes);
+            None
+        }
+    }
+
+    /// Grow the reservation; returns `false` on budget violation (the
+    /// additional bytes stay accounted either way so peak is accurate).
+    pub fn grow(&mut self, bytes: usize) -> bool {
+        self.bytes += bytes;
+        self.tracker.alloc(bytes)
+    }
+}
+
+impl Drop for MemReservation {
+    fn drop(&mut self) {
+        self.tracker.free(self.bytes);
+    }
+}
+
+/// Per-job counters aggregated by the cluster after a run.
+#[derive(Debug, Default, Clone)]
+pub struct JobStats {
+    /// Simulated cluster time: the schedule makespan computed from each
+    /// worker task's CPU time and the cluster's core budget (see
+    /// [`crate::cputime`]). On a host with enough physical cores this
+    /// tracks `wall_elapsed`; on smaller hosts it reports what the
+    /// modelled cluster would achieve. **The benchmark harness reports
+    /// this number.**
+    pub elapsed: std::time::Duration,
+    /// Raw coordinator wall-clock time of the run.
+    pub wall_elapsed: std::time::Duration,
+    /// Total CPU time across all worker tasks.
+    pub cpu_total: std::time::Duration,
+    /// Peak materialized bytes across the whole cluster.
+    pub peak_memory: usize,
+    /// Bytes that crossed a node boundary through exchanges.
+    pub network_bytes: usize,
+    /// Frames sent through exchanges (local + remote).
+    pub frames_shipped: usize,
+    /// Tuples emitted by the final sink.
+    pub result_tuples: usize,
+    /// Raw bytes read by scan sources.
+    pub bytes_scanned: usize,
+}
+
+/// Shared mutable counters the runtime updates during execution.
+#[derive(Debug, Default)]
+pub struct Counters {
+    pub network_bytes: AtomicU64,
+    pub frames_shipped: AtomicU64,
+    pub bytes_scanned: AtomicU64,
+    /// `(node, task cpu time)` per finished worker task.
+    pub task_cpu: parking_lot::Mutex<Vec<(usize, std::time::Duration)>>,
+}
+
+impl Counters {
+    pub fn new() -> Arc<Self> {
+        Arc::new(Counters::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_peak() {
+        let t = MemTracker::new();
+        t.alloc(100);
+        t.alloc(50);
+        t.free(120);
+        t.alloc(10);
+        assert_eq!(t.current(), 40);
+        assert_eq!(t.peak(), 150);
+    }
+
+    #[test]
+    fn budget_violation_reported() {
+        let t = MemTracker::with_budget(100);
+        assert!(t.alloc(60));
+        assert!(!t.alloc(60));
+    }
+
+    #[test]
+    fn reservation_frees_on_drop() {
+        let t = MemTracker::new();
+        {
+            let mut r = MemReservation::try_new(t.clone(), 64).unwrap();
+            assert!(r.grow(36));
+            assert_eq!(t.current(), 100);
+        }
+        assert_eq!(t.current(), 0);
+        assert_eq!(t.peak(), 100);
+    }
+
+    #[test]
+    fn reservation_respects_budget() {
+        let t = MemTracker::with_budget(32);
+        assert!(MemReservation::try_new(t.clone(), 64).is_none());
+        assert_eq!(t.current(), 0);
+    }
+
+    #[test]
+    fn concurrent_updates_are_consistent() {
+        let t = MemTracker::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let t = t.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        t.alloc(8);
+                        t.free(8);
+                    }
+                });
+            }
+        });
+        assert_eq!(t.current(), 0);
+        assert!(t.peak() >= 8);
+    }
+}

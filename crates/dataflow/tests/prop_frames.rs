@@ -1,0 +1,66 @@
+//! Property tests for the frame layer (DESIGN.md §7): frame append/read
+//! round-trips for arbitrary tuples, tuples never split across frames,
+//! and oversized tuples get dedicated big frames.
+
+use dataflow::frame::{Frame, FrameAppender};
+use proptest::prelude::*;
+
+/// Arbitrary tuples: 1–6 fields of 0–300 bytes.
+fn arb_tuples() -> impl Strategy<Value = Vec<Vec<Vec<u8>>>> {
+    prop::collection::vec(
+        prop::collection::vec(prop::collection::vec(any::<u8>(), 0..300), 1..6),
+        0..60,
+    )
+}
+
+fn append_all(tuples: &[Vec<Vec<u8>>], capacity: usize) -> Vec<Frame> {
+    let mut app = FrameAppender::new(capacity);
+    let mut frames = Vec::new();
+    for t in tuples {
+        let fields: Vec<&[u8]> = t.iter().map(|f| f.as_slice()).collect();
+        loop {
+            if app.append(&fields).expect("append") {
+                break;
+            }
+            frames.extend(app.take_frame());
+        }
+    }
+    frames.extend(app.take_frame());
+    frames
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn round_trip_all_tuples(tuples in arb_tuples(), cap in 128usize..2048) {
+        let frames = append_all(&tuples, cap);
+        let mut seen = Vec::new();
+        for frame in &frames {
+            for t in frame.tuples() {
+                let fields: Vec<Vec<u8>> = t.fields().map(|f| f.to_vec()).collect();
+                seen.push(fields);
+            }
+        }
+        prop_assert_eq!(seen, tuples);
+    }
+
+    #[test]
+    fn regular_frames_respect_capacity(tuples in arb_tuples()) {
+        let cap = 1024;
+        let frames = append_all(&tuples, cap);
+        for frame in &frames {
+            // A frame exceeds the capacity only when it holds exactly one
+            // (oversized) tuple.
+            if frame.size() > cap {
+                prop_assert_eq!(frame.tuple_count(), 1, "big frame must be a single tuple");
+            }
+        }
+    }
+
+    #[test]
+    fn tuple_count_is_preserved(tuples in arb_tuples(), cap in 256usize..4096) {
+        let n: usize = append_all(&tuples, cap).iter().map(Frame::tuple_count).sum();
+        prop_assert_eq!(n, tuples.len());
+    }
+}

@@ -1,0 +1,373 @@
+//! # datagen — synthetic NOAA GHCN-Daily sensor data
+//!
+//! **Substitution note (DESIGN.md §3):** the paper queries up to 803 GB of
+//! NOAA GHCN-Daily data converted to the NOAA web-service JSON format
+//! (Listing 6). That archive is not redistributable at that scale, so this
+//! crate generates seeded synthetic files with the *exact same structure*:
+//!
+//! ```json
+//! { "root": [
+//!     { "metadata": { "count": 31 },
+//!       "results": [
+//!         { "date": "20131225T00:00", "dataType": "TMIN",
+//!           "station": "GSW123006", "value": 4 }, ...
+//!       ] }, ...
+//! ] }
+//! ```
+//!
+//! Properties the evaluation depends on are preserved:
+//!
+//! * the `measurements/array` knob of Fig. 18 / Table 1 (30 → 1);
+//! * every `(station, date)` with a `TMIN` also has a `TMAX` (so the Q2
+//!   self-join has matches) with `TMAX > TMIN`;
+//! * dates spread over years so Q0's December-25 filter is selective;
+//! * per-node sub-directories (`node0/`, `node1/`, …) — "each node has a
+//!   unique set of JSON files stored under the same directory".
+//!
+//! Everything is deterministic per seed.
+
+use jdm::{Item, Number};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::Write;
+use std::path::Path;
+
+/// Measurement kinds; TMIN/TMAX pair up for the self-join query.
+pub const DATA_TYPES: [&str; 4] = ["TMIN", "TMAX", "WIND", "PRCP"];
+
+/// Average JSON text bytes per measurement object (used for sizing).
+pub const BYTES_PER_MEASUREMENT: usize = 90;
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct SensorSpec {
+    /// RNG seed; same seed ⇒ identical dataset.
+    pub seed: u64,
+    /// Simulated cluster nodes (one sub-directory each).
+    pub nodes: usize,
+    /// Files per node directory.
+    pub files_per_node: usize,
+    /// `root` array members per file (each holds one `results` array).
+    pub records_per_file: usize,
+    /// Measurements per `results` array — the Fig. 18 knob.
+    pub measurements_per_array: usize,
+    /// Number of distinct stations.
+    pub stations: usize,
+    /// First year of the date range.
+    pub start_year: i32,
+    /// Number of years covered.
+    pub years: usize,
+}
+
+impl Default for SensorSpec {
+    fn default() -> Self {
+        SensorSpec {
+            seed: 42,
+            nodes: 1,
+            files_per_node: 4,
+            records_per_file: 64,
+            measurements_per_array: 30,
+            stations: 40,
+            start_year: 2000,
+            years: 15,
+        }
+    }
+}
+
+/// What was generated.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DatasetStats {
+    pub files: usize,
+    pub records: usize,
+    pub measurements: usize,
+    pub bytes: usize,
+}
+
+impl SensorSpec {
+    /// Pick `records_per_file` so the whole dataset is roughly
+    /// `total_bytes` at the given shape.
+    pub fn sized(total_bytes: usize, nodes: usize, files_per_node: usize, mpa: usize) -> Self {
+        let files = nodes * files_per_node;
+        let per_file = total_bytes / files.max(1);
+        let records = (per_file / (mpa.max(1) * BYTES_PER_MEASUREMENT)).max(1);
+        SensorSpec {
+            nodes,
+            files_per_node,
+            records_per_file: records,
+            measurements_per_array: mpa,
+            ..SensorSpec::default()
+        }
+    }
+
+    /// Total measurements this spec will produce.
+    pub fn total_measurements(&self) -> usize {
+        self.nodes * self.files_per_node * self.records_per_file * self.measurements_per_array
+    }
+
+    /// Generate one file's item. `file_index` is global (node-major).
+    pub fn file_item(&self, file_index: usize) -> Item {
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ (file_index as u64).wrapping_mul(0x9E37_79B9));
+        let mut records = Vec::with_capacity(self.records_per_file);
+        // Records come in TMIN/TMAX pairs over the same station & dates so
+        // the Q2 self-join always has matches; every 3rd pair is replaced
+        // by noise types to keep selection queries honest.
+        let mut i = 0;
+        while i < self.records_per_file {
+            let station = format!("GSW{:06}", rng.gen_range(0..self.stations));
+            let year = self.start_year + rng.gen_range(0..self.years as i32);
+            let month = rng.gen_range(1..=12u8);
+            let max_day = jdm::datetime::days_in_month(year, month);
+            let start_day = rng.gen_range(1..=max_day.max(1));
+            let n = self.measurements_per_array;
+
+            let pair_kind = i % 6;
+            if pair_kind < 4 && i + 1 < self.records_per_file {
+                // A TMIN record and its matching TMAX record.
+                let tmins: Vec<i64> = (0..n).map(|_| rng.gen_range(-25..20)).collect();
+                let deltas: Vec<i64> = (0..n).map(|_| rng.gen_range(3..25)).collect();
+                records.push(self.record(&station, year, month, start_day, "TMIN", &tmins));
+                let tmaxs: Vec<i64> = tmins.iter().zip(&deltas).map(|(t, d)| t + d).collect();
+                records.push(self.record(&station, year, month, start_day, "TMAX", &tmaxs));
+                i += 2;
+            } else {
+                let dt = if pair_kind == 4 { "WIND" } else { "PRCP" };
+                let vals: Vec<i64> = (0..n).map(|_| rng.gen_range(0..120)).collect();
+                records.push(self.record(&station, year, month, start_day, dt, &vals));
+                i += 1;
+            }
+        }
+        Item::Object(vec![("root".into(), Item::Array(records))])
+    }
+
+    /// One `{metadata, results}` record: consecutive days from
+    /// `(year, month, start_day)`, wrapping within the month.
+    fn record(
+        &self,
+        station: &str,
+        year: i32,
+        month: u8,
+        start_day: u8,
+        data_type: &str,
+        values: &[i64],
+    ) -> Item {
+        let dim = jdm::datetime::days_in_month(year, month);
+        let results: Vec<Item> = values
+            .iter()
+            .enumerate()
+            .map(|(k, v)| {
+                let day = (start_day - 1 + k as u8) % dim + 1;
+                Item::Object(vec![
+                    (
+                        "date".into(),
+                        Item::str(format!("{year:04}{month:02}{day:02}T00:00")),
+                    ),
+                    ("dataType".into(), Item::str(data_type)),
+                    ("station".into(), Item::str(station)),
+                    ("value".into(), Item::Number(Number::Int(*v))),
+                ])
+            })
+            .collect();
+        Item::Object(vec![
+            (
+                "metadata".into(),
+                Item::Object(vec![("count".into(), Item::int(results.len() as i64))]),
+            ),
+            ("results".into(), Item::Array(results)),
+        ])
+    }
+
+    /// Write the dataset under `dir` as `node{i}/part{j}.json`.
+    /// Returns stats. Existing files are overwritten.
+    pub fn generate(&self, dir: &Path) -> std::io::Result<DatasetStats> {
+        let mut stats = DatasetStats::default();
+        for node in 0..self.nodes {
+            let node_dir = dir.join(format!("node{node}"));
+            std::fs::create_dir_all(&node_dir)?;
+            for f in 0..self.files_per_node {
+                let idx = node * self.files_per_node + f;
+                let item = self.file_item(idx);
+                let text = jdm::text::to_string(&item);
+                let path = node_dir.join(format!("part{f:04}.json"));
+                let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+                file.write_all(text.as_bytes())?;
+                file.flush()?;
+                stats.files += 1;
+                stats.bytes += text.len();
+                stats.records += self.records_per_file;
+                stats.measurements += self.records_per_file * self.measurements_per_array;
+            }
+        }
+        Ok(stats)
+    }
+}
+
+/// Write the paper's bookstore example (Listing 1) as a collection of
+/// `files` files under `dir/node0`, returning total books written.
+pub fn generate_bookstore(
+    dir: &Path,
+    files: usize,
+    books_per_file: usize,
+) -> std::io::Result<usize> {
+    const TITLES: [&str; 4] = [
+        "Everyday Italian",
+        "Harry Potter",
+        "XQuery Kick Start",
+        "Learning XML",
+    ];
+    const AUTHORS: [&str; 3] = ["Giada De Laurentiis", "J K. Rowling", "Erik T. Ray"];
+    const CATEGORIES: [&str; 3] = ["COOKING", "CHILDREN", "WEB"];
+    let node_dir = dir.join("node0");
+    std::fs::create_dir_all(&node_dir)?;
+    let mut written = 0;
+    for f in 0..files {
+        let books: Vec<Item> = (0..books_per_file)
+            .map(|i| {
+                let k = (f * books_per_file + i) % TITLES.len();
+                Item::Object(vec![
+                    ("-category".into(), Item::str(CATEGORIES[k % 3])),
+                    ("title".into(), Item::str(TITLES[k])),
+                    ("author".into(), Item::str(AUTHORS[k % 3])),
+                    ("year".into(), Item::str(format!("{}", 2000 + k))),
+                    ("price".into(), Item::str(format!("{}.00", 20 + k))),
+                ])
+            })
+            .collect();
+        written += books.len();
+        let doc = Item::Object(vec![(
+            "bookstore".into(),
+            Item::Object(vec![("book".into(), Item::Array(books))]),
+        )]);
+        std::fs::write(
+            node_dir.join(format!("books{f}.json")),
+            jdm::text::to_string(&doc),
+        )?;
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jdm::parse::parse_item;
+
+    #[test]
+    fn structure_matches_listing6() {
+        let spec = SensorSpec {
+            records_per_file: 8,
+            measurements_per_array: 5,
+            ..Default::default()
+        };
+        let item = spec.file_item(0);
+        let root = item.get_key("root").expect("root array");
+        let Item::Array(records) = root else {
+            panic!("root must be an array")
+        };
+        assert_eq!(records.len(), 8);
+        for rec in records {
+            let count = rec
+                .get_key("metadata")
+                .and_then(|m| m.get_key("count"))
+                .and_then(Item::as_number)
+                .unwrap();
+            let Item::Array(results) = rec.get_key("results").unwrap() else {
+                panic!("results must be an array")
+            };
+            assert_eq!(count.as_i64().unwrap() as usize, results.len());
+            assert_eq!(results.len(), 5);
+            for m in results {
+                for key in ["date", "dataType", "station", "value"] {
+                    assert!(m.get_key(key).is_some(), "missing {key}");
+                }
+                let d = m.get_key("date").unwrap().as_str().unwrap();
+                assert!(jdm::DateTime::parse(d).is_ok(), "bad date {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = SensorSpec::default();
+        assert_eq!(spec.file_item(3), spec.file_item(3));
+        let other = SensorSpec {
+            seed: 99,
+            ..SensorSpec::default()
+        };
+        assert_ne!(spec.file_item(3), other.file_item(3));
+    }
+
+    #[test]
+    fn tmin_has_matching_tmax() {
+        let spec = SensorSpec {
+            records_per_file: 20,
+            measurements_per_array: 4,
+            ..Default::default()
+        };
+        let item = spec.file_item(1);
+        let records = item.get_key("root").unwrap();
+        let mut tmin = std::collections::HashSet::new();
+        let mut tmax = std::collections::HashSet::new();
+        for rec in records.keys_or_members() {
+            for m in rec.get_key("results").unwrap().keys_or_members() {
+                let key = (
+                    m.get_key("station").unwrap().as_str().unwrap().to_string(),
+                    m.get_key("date").unwrap().as_str().unwrap().to_string(),
+                );
+                match m.get_key("dataType").unwrap().as_str().unwrap() {
+                    "TMIN" => {
+                        tmin.insert(key);
+                    }
+                    "TMAX" => {
+                        tmax.insert(key);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert!(!tmin.is_empty());
+        assert_eq!(tmin, tmax, "every TMIN key must have a matching TMAX key");
+    }
+
+    #[test]
+    fn generate_writes_parseable_files() {
+        let dir = std::env::temp_dir().join("vxq-datagen-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = SensorSpec {
+            nodes: 2,
+            files_per_node: 3,
+            records_per_file: 4,
+            measurements_per_array: 3,
+            ..Default::default()
+        };
+        let stats = spec.generate(&dir).unwrap();
+        assert_eq!(stats.files, 6);
+        assert_eq!(stats.measurements, 2 * 3 * 4 * 3);
+        for node in 0..2 {
+            let d = dir.join(format!("node{node}"));
+            for entry in std::fs::read_dir(&d).unwrap() {
+                let text = std::fs::read(entry.unwrap().path()).unwrap();
+                parse_item(&text).expect("generated file must be valid JSON");
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sized_hits_rough_target() {
+        let spec = SensorSpec::sized(1_000_000, 2, 4, 30);
+        let total = spec.total_measurements() * BYTES_PER_MEASUREMENT;
+        assert!(total > 500_000 && total < 2_000_000, "got {total}");
+    }
+
+    #[test]
+    fn bookstore_collection_is_valid() {
+        let dir = std::env::temp_dir().join("vxq-bookstore-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let n = generate_bookstore(&dir, 2, 5).unwrap();
+        assert_eq!(n, 10);
+        let text = std::fs::read(dir.join("node0/books0.json")).unwrap();
+        let item = parse_item(&text).unwrap();
+        assert!(item.get_key("bookstore").unwrap().get_key("book").is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

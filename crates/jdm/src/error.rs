@@ -1,0 +1,58 @@
+//! Error type shared by the parsing, navigation and binary layers.
+
+use std::fmt;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, JdmError>;
+
+/// Errors produced by the JSON data-model layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JdmError {
+    /// Malformed JSON text. Carries the byte offset of the problem and a
+    /// human-readable description.
+    Parse { offset: usize, msg: String },
+    /// Input ended in the middle of a value.
+    UnexpectedEof { offset: usize },
+    /// A number literal could not be represented (overflow, bad format).
+    BadNumber { offset: usize },
+    /// Invalid UTF-8 inside a string literal.
+    BadUtf8 { offset: usize },
+    /// Malformed binary item data.
+    BadBinary(String),
+    /// An `xs:dateTime` literal did not match any accepted format.
+    BadDateTime(String),
+    /// Dynamic type error while navigating (e.g. `value` applied to an
+    /// atomic). Mirrors JSONiq's behaviour of raising a type error rather
+    /// than returning the empty sequence in strict contexts.
+    Type(String),
+}
+
+impl fmt::Display for JdmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JdmError::Parse { offset, msg } => {
+                write!(f, "JSON parse error at byte {offset}: {msg}")
+            }
+            JdmError::UnexpectedEof { offset } => {
+                write!(f, "unexpected end of input at byte {offset}")
+            }
+            JdmError::BadNumber { offset } => write!(f, "invalid number at byte {offset}"),
+            JdmError::BadUtf8 { offset } => write!(f, "invalid UTF-8 at byte {offset}"),
+            JdmError::BadBinary(msg) => write!(f, "bad binary item: {msg}"),
+            JdmError::BadDateTime(s) => write!(f, "invalid dateTime literal: {s:?}"),
+            JdmError::Type(msg) => write!(f, "type error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JdmError {}
+
+impl JdmError {
+    /// Convenience constructor for [`JdmError::Parse`].
+    pub fn parse(offset: usize, msg: impl Into<String>) -> Self {
+        JdmError::Parse {
+            offset,
+            msg: msg.into(),
+        }
+    }
+}

@@ -1,0 +1,446 @@
+//! The JSONiq item tree model.
+//!
+//! A *json-item* is an object or array (paper §4, Fig. 2); atomics are
+//! strings, numbers, booleans, null, plus the `xs:dateTime` atomic that the
+//! JSONiq extension inherits from XQuery. A [`Item::Sequence`] is an XQuery
+//! sequence of items — not a JSON value, but the unit that flows between
+//! logical operators before the paper's rewrite rules break sequences up
+//! into per-item tuples.
+
+use crate::datetime::DateTime;
+use crate::number::Number;
+use std::cmp::Ordering;
+use std::hash::{Hash, Hasher};
+
+/// A JSONiq item (or sequence of items).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// JSON `null`.
+    Null,
+    /// JSON `true`/`false`.
+    Boolean(bool),
+    /// JSON number.
+    Number(Number),
+    /// JSON string.
+    String(Box<str>),
+    /// JSON array: ordered list of members.
+    Array(Vec<Item>),
+    /// JSON object: ordered list of key/value pairs. Duplicate keys are not
+    /// rejected at parse time (JSON permits them); navigation returns the
+    /// first match, like Jackson's default.
+    Object(Vec<(Box<str>, Item)>),
+    /// XQuery `xs:dateTime` atomic (JSONiq extension to the JSON types).
+    DateTime(DateTime),
+    /// An XQuery sequence. Sequences never nest (XQuery flattens them);
+    /// constructors in this crate maintain that invariant.
+    Sequence(Vec<Item>),
+}
+
+impl Item {
+    /// Shorthand string constructor.
+    pub fn str(s: impl Into<Box<str>>) -> Item {
+        Item::String(s.into())
+    }
+
+    /// Shorthand integer constructor.
+    pub fn int(i: i64) -> Item {
+        Item::Number(Number::Int(i))
+    }
+
+    /// Shorthand double constructor.
+    pub fn double(d: f64) -> Item {
+        Item::Number(Number::Double(d))
+    }
+
+    /// Build a sequence, flattening any nested sequences (XQuery semantics).
+    pub fn seq(items: impl IntoIterator<Item = Item>) -> Item {
+        let mut out = Vec::new();
+        for it in items {
+            match it {
+                Item::Sequence(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        Item::Sequence(out)
+    }
+
+    /// The empty sequence.
+    pub fn empty() -> Item {
+        Item::Sequence(Vec::new())
+    }
+
+    /// JSONiq `value` step on an object: `$o("key")`. Returns `None` (empty
+    /// sequence) when the key is absent or the item is not an object.
+    pub fn get_key(&self, key: &str) -> Option<&Item> {
+        match self {
+            Item::Object(pairs) => pairs.iter().find(|(k, _)| &**k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// JSONiq `value` step on an array: `$a(i)`, **1-based** per JSONiq.
+    /// Index 0 or out-of-range yields `None`.
+    pub fn get_position(&self, pos: i64) -> Option<&Item> {
+        match self {
+            Item::Array(items) if pos >= 1 => items.get((pos - 1) as usize),
+            _ => None,
+        }
+    }
+
+    /// 0-based array access, for Rust-side convenience (examples, tests).
+    pub fn get_index(&self, idx: usize) -> Option<&Item> {
+        match self {
+            Item::Array(items) => items.get(idx),
+            _ => None,
+        }
+    }
+
+    /// JSONiq `keys-or-members` step `$x()`: all members of an array, or
+    /// all keys of an object (as strings). Atomics yield an empty iterator.
+    pub fn keys_or_members(&self) -> KeysOrMembers<'_> {
+        match self {
+            Item::Array(items) => KeysOrMembers::Members(items.iter()),
+            Item::Object(pairs) => KeysOrMembers::Keys(pairs.iter()),
+            _ => KeysOrMembers::Empty,
+        }
+    }
+
+    /// String payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Item::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload, if this is a number.
+    pub fn as_number(&self) -> Option<Number> {
+        match self {
+            Item::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Item::Boolean(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// DateTime payload, if this is a dateTime.
+    pub fn as_datetime(&self) -> Option<DateTime> {
+        match self {
+            Item::DateTime(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// True for objects and arrays (the paper's *json-item*s).
+    pub fn is_json_item(&self) -> bool {
+        matches!(self, Item::Object(_) | Item::Array(_))
+    }
+
+    /// True for the empty sequence.
+    pub fn is_empty_sequence(&self) -> bool {
+        matches!(self, Item::Sequence(v) if v.is_empty())
+    }
+
+    /// Number of items when viewed as a sequence (a non-sequence item is a
+    /// singleton sequence — XQuery semantics).
+    pub fn sequence_len(&self) -> usize {
+        match self {
+            Item::Sequence(v) => v.len(),
+            _ => 1,
+        }
+    }
+
+    /// Iterate the item as a sequence (singleton for non-sequences).
+    pub fn iter_sequence(&self) -> SequenceIter<'_> {
+        match self {
+            Item::Sequence(v) => SequenceIter::Many(v.iter()),
+            other => SequenceIter::One(Some(other)),
+        }
+    }
+
+    /// Consume the item as a sequence.
+    pub fn into_sequence(self) -> Vec<Item> {
+        match self {
+            Item::Sequence(v) => v,
+            other => vec![other],
+        }
+    }
+
+    /// A rough measure of the heap footprint of this item tree, used by the
+    /// runtime memory tracker (paper Table 3).
+    pub fn heap_size(&self) -> usize {
+        const NODE: usize = std::mem::size_of::<Item>();
+        match self {
+            Item::Null | Item::Boolean(_) | Item::Number(_) | Item::DateTime(_) => NODE,
+            Item::String(s) => NODE + s.len(),
+            Item::Array(v) | Item::Sequence(v) => {
+                NODE + v.iter().map(Item::heap_size).sum::<usize>()
+            }
+            Item::Object(pairs) => {
+                NODE + pairs
+                    .iter()
+                    .map(|(k, v)| k.len() + v.heap_size())
+                    .sum::<usize>()
+            }
+        }
+    }
+
+    /// Deep structural equality that treats `Int(1)` and `Double(1.0)` as
+    /// equal (follows [`Number`]'s equality) — this *is* `PartialEq`, named
+    /// for readability at call sites in tests.
+    pub fn deep_eq(&self, other: &Item) -> bool {
+        self == other
+    }
+
+    /// Total order across all items, used for deterministic test output and
+    /// order-insensitive result comparison. Type-ranked: null < boolean <
+    /// number < string < dateTime < array < object < sequence.
+    pub fn total_cmp(&self, other: &Item) -> Ordering {
+        fn rank(i: &Item) -> u8 {
+            match i {
+                Item::Null => 0,
+                Item::Boolean(_) => 1,
+                Item::Number(_) => 2,
+                Item::String(_) => 3,
+                Item::DateTime(_) => 4,
+                Item::Array(_) => 5,
+                Item::Object(_) => 6,
+                Item::Sequence(_) => 7,
+            }
+        }
+        match (self, other) {
+            (Item::Null, Item::Null) => Ordering::Equal,
+            (Item::Boolean(a), Item::Boolean(b)) => a.cmp(b),
+            (Item::Number(a), Item::Number(b)) => a.cmp(b),
+            (Item::String(a), Item::String(b)) => a.cmp(b),
+            (Item::DateTime(a), Item::DateTime(b)) => a.cmp(b),
+            (Item::Array(a), Item::Array(b)) | (Item::Sequence(a), Item::Sequence(b)) => {
+                cmp_slices(a, b)
+            }
+            (Item::Object(a), Item::Object(b)) => {
+                for ((ka, va), (kb, vb)) in a.iter().zip(b.iter()) {
+                    match ka.cmp(kb).then_with(|| va.total_cmp(vb)) {
+                        Ordering::Equal => continue,
+                        other => return other,
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+}
+
+fn cmp_slices(a: &[Item], b: &[Item]) -> Ordering {
+    for (x, y) in a.iter().zip(b.iter()) {
+        match x.total_cmp(y) {
+            Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    a.len().cmp(&b.len())
+}
+
+impl Eq for Item {}
+
+impl Hash for Item {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Item::Null => state.write_u8(0),
+            Item::Boolean(b) => {
+                state.write_u8(1);
+                b.hash(state);
+            }
+            Item::Number(n) => {
+                state.write_u8(2);
+                n.hash(state);
+            }
+            Item::String(s) => {
+                state.write_u8(3);
+                s.hash(state);
+            }
+            Item::DateTime(d) => {
+                state.write_u8(4);
+                d.hash(state);
+            }
+            Item::Array(v) => {
+                state.write_u8(5);
+                for i in v {
+                    i.hash(state);
+                }
+            }
+            Item::Object(pairs) => {
+                state.write_u8(6);
+                for (k, v) in pairs {
+                    k.hash(state);
+                    v.hash(state);
+                }
+            }
+            Item::Sequence(v) => {
+                state.write_u8(7);
+                for i in v {
+                    i.hash(state);
+                }
+            }
+        }
+    }
+}
+
+/// Iterator returned by [`Item::keys_or_members`].
+pub enum KeysOrMembers<'a> {
+    /// Members of an array.
+    Members(std::slice::Iter<'a, Item>),
+    /// Keys of an object (yielded as borrowed strings wrapped on the fly).
+    Keys(std::slice::Iter<'a, (Box<str>, Item)>),
+    /// Atomic: nothing.
+    Empty,
+}
+
+impl<'a> Iterator for KeysOrMembers<'a> {
+    type Item = Item;
+
+    fn next(&mut self) -> Option<Item> {
+        match self {
+            KeysOrMembers::Members(it) => it.next().cloned(),
+            KeysOrMembers::Keys(it) => it.next().map(|(k, _)| Item::String(k.clone())),
+            KeysOrMembers::Empty => None,
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            KeysOrMembers::Members(it) => it.size_hint(),
+            KeysOrMembers::Keys(it) => it.size_hint(),
+            KeysOrMembers::Empty => (0, Some(0)),
+        }
+    }
+}
+
+/// Iterator returned by [`Item::iter_sequence`].
+pub enum SequenceIter<'a> {
+    /// Singleton (non-sequence item).
+    One(Option<&'a Item>),
+    /// Proper sequence.
+    Many(std::slice::Iter<'a, Item>),
+}
+
+impl<'a> Iterator for SequenceIter<'a> {
+    type Item = &'a Item;
+
+    fn next(&mut self) -> Option<&'a Item> {
+        match self {
+            SequenceIter::One(v) => v.take(),
+            SequenceIter::Many(it) => it.next(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bookstore() -> Item {
+        Item::Object(vec![(
+            "bookstore".into(),
+            Item::Object(vec![(
+                "book".into(),
+                Item::Array(vec![
+                    Item::Object(vec![
+                        ("title".into(), Item::str("Everyday Italian")),
+                        ("price".into(), Item::double(30.0)),
+                    ]),
+                    Item::Object(vec![("title".into(), Item::str("Learning XML"))]),
+                ]),
+            )]),
+        )])
+    }
+
+    #[test]
+    fn value_step_on_objects() {
+        let b = bookstore();
+        let books = b.get_key("bookstore").unwrap().get_key("book").unwrap();
+        assert!(matches!(books, Item::Array(v) if v.len() == 2));
+        assert!(b.get_key("missing").is_none());
+        assert!(Item::int(1).get_key("x").is_none());
+    }
+
+    #[test]
+    fn value_step_on_arrays_is_one_based() {
+        let b = bookstore();
+        let books = b.get_key("bookstore").unwrap().get_key("book").unwrap();
+        let first = books.get_position(1).unwrap();
+        assert_eq!(
+            first.get_key("title").unwrap().as_str(),
+            Some("Everyday Italian")
+        );
+        assert!(books.get_position(0).is_none());
+        assert!(books.get_position(3).is_none());
+    }
+
+    #[test]
+    fn keys_or_members_on_array_yields_members() {
+        let b = bookstore();
+        let books = b.get_key("bookstore").unwrap().get_key("book").unwrap();
+        let members: Vec<Item> = books.keys_or_members().collect();
+        assert_eq!(members.len(), 2);
+        assert!(members[0].get_key("title").is_some());
+    }
+
+    #[test]
+    fn keys_or_members_on_object_yields_keys() {
+        let b = bookstore();
+        let keys: Vec<Item> = b.keys_or_members().collect();
+        assert_eq!(keys, vec![Item::str("bookstore")]);
+    }
+
+    #[test]
+    fn keys_or_members_on_atomic_is_empty() {
+        assert_eq!(Item::str("x").keys_or_members().count(), 0);
+        assert_eq!(Item::Null.keys_or_members().count(), 0);
+    }
+
+    #[test]
+    fn sequences_flatten() {
+        let s = Item::seq([
+            Item::int(1),
+            Item::seq([Item::int(2), Item::int(3)]),
+            Item::int(4),
+        ]);
+        assert_eq!(s.sequence_len(), 4);
+    }
+
+    #[test]
+    fn singleton_sequence_view() {
+        let one = Item::int(42);
+        assert_eq!(one.sequence_len(), 1);
+        assert_eq!(one.iter_sequence().count(), 1);
+    }
+
+    #[test]
+    fn duplicate_keys_first_wins() {
+        let o = Item::Object(vec![("k".into(), Item::int(1)), ("k".into(), Item::int(2))]);
+        assert_eq!(o.get_key("k").unwrap(), &Item::int(1));
+    }
+
+    #[test]
+    fn heap_size_grows_with_content() {
+        let small = Item::str("x");
+        let big = bookstore();
+        assert!(big.heap_size() > small.heap_size());
+    }
+
+    #[test]
+    fn total_cmp_is_consistent() {
+        let mut v = [Item::str("b"), Item::Null, Item::int(3), Item::str("a")];
+        v.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(v[0], Item::Null);
+        assert_eq!(v[1], Item::int(3));
+        assert_eq!(v[2], Item::str("a"));
+    }
+}

@@ -1,0 +1,669 @@
+//! Event-based (SAX-style) JSON parser.
+//!
+//! Written from scratch — the paper's system integrates a streaming parser
+//! (Jackson) whose events feed the dataflow operators, and the CPU-bound
+//! nature of parsing drives the single-node speed-up experiment (Fig. 17),
+//! so the parser is part of the reproduction surface.
+//!
+//! Design points:
+//! * operates on a byte slice; strings are borrowed (`Cow::Borrowed`) unless
+//!   they contain escapes;
+//! * a [`EventParser::skip_value`] fast path skips a whole value without
+//!   unescaping strings or parsing numbers — this is what makes projection
+//!   cheap;
+//! * strict: trailing garbage, bad escapes, bad numbers, and unbalanced
+//!   structure are errors with byte offsets.
+
+use crate::error::{JdmError, Result};
+use crate::number::Number;
+use std::borrow::Cow;
+
+/// One JSON structural event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event<'a> {
+    /// `{`
+    StartObject,
+    /// `}`
+    EndObject,
+    /// `[`
+    StartArray,
+    /// `]`
+    EndArray,
+    /// An object key (always followed by the value's events).
+    Key(Cow<'a, str>),
+    /// A string value.
+    String(Cow<'a, str>),
+    /// A numeric value.
+    Number(Number),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Frame {
+    /// Inside an object; `expect_key` toggles between key and value position.
+    Object { expect_key: bool },
+    /// Inside an array.
+    Array,
+}
+
+/// Pull parser producing [`Event`]s from a byte slice.
+pub struct EventParser<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    stack: Vec<Frame>,
+    /// True immediately after a value at the current nesting level (so the
+    /// next token must be `,` or a closer).
+    have_value: bool,
+    done: bool,
+}
+
+impl<'a> EventParser<'a> {
+    /// Create a parser over `buf` (one complete JSON value expected).
+    pub fn new(buf: &'a [u8]) -> Self {
+        EventParser {
+            buf,
+            pos: 0,
+            stack: Vec::new(),
+            have_value: false,
+            done: false,
+        }
+    }
+
+    /// Byte offset of the next unread byte (for error reporting and for
+    /// slicing raw value text).
+    #[inline]
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// Current nesting depth.
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Produce the next event, or `Ok(None)` at the end of a complete value.
+    pub fn next_event(&mut self) -> Result<Option<Event<'a>>> {
+        if self.done {
+            return Ok(None);
+        }
+        self.skip_ws();
+        if self.pos >= self.buf.len() {
+            if self.stack.is_empty() && self.have_value {
+                self.done = true;
+                return Ok(None);
+            }
+            return Err(JdmError::UnexpectedEof { offset: self.pos });
+        }
+
+        // Handle separators / closers relative to the containment stack.
+        match self.stack.last().copied() {
+            Some(Frame::Object { expect_key: true }) => {
+                let c = self.buf[self.pos];
+                if c == b'}' {
+                    self.pos += 1;
+                    self.stack.pop();
+                    self.note_value();
+                    return Ok(Some(Event::EndObject));
+                }
+                if self.have_value {
+                    if c != b',' {
+                        return Err(JdmError::parse(self.pos, "expected ',' or '}'"));
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                }
+                // Parse a key.
+                if self.pos >= self.buf.len() {
+                    return Err(JdmError::UnexpectedEof { offset: self.pos });
+                }
+                if self.buf[self.pos] != b'"' {
+                    return Err(JdmError::parse(self.pos, "expected object key"));
+                }
+                let key = self.parse_string()?;
+                self.skip_ws();
+                if self.pos >= self.buf.len() || self.buf[self.pos] != b':' {
+                    return Err(JdmError::parse(self.pos, "expected ':' after key"));
+                }
+                self.pos += 1;
+                if let Some(Frame::Object { expect_key }) = self.stack.last_mut() {
+                    *expect_key = false;
+                }
+                self.have_value = false;
+                return Ok(Some(Event::Key(key)));
+            }
+            Some(Frame::Object { expect_key: false }) => {
+                // Value position inside an object; fall through to value.
+            }
+            Some(Frame::Array) => {
+                let c = self.buf[self.pos];
+                if c == b']' {
+                    self.pos += 1;
+                    self.stack.pop();
+                    self.note_value();
+                    return Ok(Some(Event::EndArray));
+                }
+                if self.have_value {
+                    if c != b',' {
+                        return Err(JdmError::parse(self.pos, "expected ',' or ']'"));
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    if self.pos < self.buf.len() && self.buf[self.pos] == b']' {
+                        return Err(JdmError::parse(self.pos, "trailing comma in array"));
+                    }
+                }
+            }
+            None => {
+                if self.have_value {
+                    return Err(JdmError::parse(self.pos, "trailing characters after value"));
+                }
+            }
+        }
+
+        self.parse_value().map(Some)
+    }
+
+    /// After the *start* of a value has been consumed (`StartObject` /
+    /// `StartArray` event already returned), skip to the matching end
+    /// without materializing anything. When called right before a value,
+    /// skips the whole value. `depth_at_entry` should be `self.depth()`
+    /// captured before the value's opening event; here we provide the
+    /// common form: skip one complete value from value position.
+    pub fn skip_value(&mut self) -> Result<()> {
+        // We must be positioned at the start of a value (value position).
+        self.skip_ws();
+        let start_depth = self.stack.len();
+        // Consume the first event of the value.
+        let ev = self
+            .next_event()?
+            .ok_or(JdmError::UnexpectedEof { offset: self.pos })?;
+        match ev {
+            Event::StartObject | Event::StartArray => {
+                // Fast byte-level scan to the matching close bracket.
+                self.raw_skip_to_depth(start_depth)
+            }
+            _ => Ok(()), // atomic: already consumed
+        }
+    }
+
+    /// Skip bytes until nesting depth returns to `target_depth`, honouring
+    /// strings and escapes but not validating contents (fast path).
+    fn raw_skip_to_depth(&mut self, target_depth: usize) -> Result<()> {
+        let mut depth = self.stack.len();
+        debug_assert!(depth > target_depth);
+        while self.pos < self.buf.len() {
+            match self.buf[self.pos] {
+                b'"' => {
+                    self.raw_skip_string()?;
+                    continue;
+                }
+                b'{' | b'[' => depth += 1,
+                b'}' | b']' => {
+                    depth -= 1;
+                    if depth == target_depth {
+                        // Reconcile parser state: pop frames we skipped.
+                        self.stack.truncate(target_depth);
+                        self.pos += 1;
+                        self.note_value();
+                        return Ok(());
+                    }
+                }
+                _ => {}
+            }
+            self.pos += 1;
+        }
+        Err(JdmError::UnexpectedEof { offset: self.pos })
+    }
+
+    fn raw_skip_string(&mut self) -> Result<()> {
+        debug_assert_eq!(self.buf[self.pos], b'"');
+        self.pos += 1;
+        while self.pos < self.buf.len() {
+            match self.buf[self.pos] {
+                b'\\' => self.pos += 2,
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => self.pos += 1,
+            }
+        }
+        Err(JdmError::UnexpectedEof { offset: self.pos })
+    }
+
+    /// Mark that a complete value just finished at the current level.
+    fn note_value(&mut self) {
+        self.have_value = true;
+        if let Some(Frame::Object { expect_key }) = self.stack.last_mut() {
+            *expect_key = true;
+        }
+        if self.stack.is_empty() {
+            self.done = true;
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Event<'a>> {
+        let c = self.buf[self.pos];
+        match c {
+            b'{' => {
+                self.pos += 1;
+                self.stack.push(Frame::Object { expect_key: true });
+                self.have_value = false;
+                Ok(Event::StartObject)
+            }
+            b'[' => {
+                self.pos += 1;
+                self.stack.push(Frame::Array);
+                self.have_value = false;
+                Ok(Event::StartArray)
+            }
+            b'"' => {
+                let s = self.parse_string()?;
+                self.note_value();
+                Ok(Event::String(s))
+            }
+            b't' => {
+                self.expect_word(b"true")?;
+                self.note_value();
+                Ok(Event::Bool(true))
+            }
+            b'f' => {
+                self.expect_word(b"false")?;
+                self.note_value();
+                Ok(Event::Bool(false))
+            }
+            b'n' => {
+                self.expect_word(b"null")?;
+                self.note_value();
+                Ok(Event::Null)
+            }
+            b'-' | b'0'..=b'9' => {
+                let n = self.parse_number()?;
+                self.note_value();
+                Ok(Event::Number(n))
+            }
+            _ => Err(JdmError::parse(
+                self.pos,
+                format!("unexpected byte {:?}", c as char),
+            )),
+        }
+    }
+
+    fn expect_word(&mut self, w: &[u8]) -> Result<()> {
+        if self.buf.len() - self.pos >= w.len() && &self.buf[self.pos..self.pos + w.len()] == w {
+            self.pos += w.len();
+            Ok(())
+        } else {
+            Err(JdmError::parse(self.pos, "invalid literal"))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Number> {
+        let start = self.pos;
+        let b = self.buf;
+        let mut i = self.pos;
+        if i < b.len() && b[i] == b'-' {
+            i += 1;
+        }
+        let int_start = i;
+        while i < b.len() && b[i].is_ascii_digit() {
+            i += 1;
+        }
+        if i == int_start {
+            return Err(JdmError::BadNumber { offset: start });
+        }
+        // Leading zero rule: "0" alone or "0." is ok, "01" is not.
+        if b[int_start] == b'0' && i - int_start > 1 {
+            return Err(JdmError::BadNumber { offset: start });
+        }
+        let mut is_double = false;
+        if i < b.len() && b[i] == b'.' {
+            is_double = true;
+            i += 1;
+            let frac_start = i;
+            while i < b.len() && b[i].is_ascii_digit() {
+                i += 1;
+            }
+            if i == frac_start {
+                return Err(JdmError::BadNumber { offset: start });
+            }
+        }
+        if i < b.len() && (b[i] == b'e' || b[i] == b'E') {
+            is_double = true;
+            i += 1;
+            if i < b.len() && (b[i] == b'+' || b[i] == b'-') {
+                i += 1;
+            }
+            let exp_start = i;
+            while i < b.len() && b[i].is_ascii_digit() {
+                i += 1;
+            }
+            if i == exp_start {
+                return Err(JdmError::BadNumber { offset: start });
+            }
+        }
+        // SAFETY of from_utf8: the scanned range contains only ASCII.
+        let text = std::str::from_utf8(&b[start..i]).expect("ASCII number text");
+        self.pos = i;
+        if !is_double {
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Number::Int(v));
+            }
+            // Integer overflow: fall through to double.
+        }
+        text.parse::<f64>()
+            .map(Number::Double)
+            .map_err(|_| JdmError::BadNumber { offset: start })
+    }
+
+    /// Parse a string literal (cursor on the opening quote). Borrows when no
+    /// escapes are present.
+    fn parse_string(&mut self) -> Result<Cow<'a, str>> {
+        debug_assert_eq!(self.buf[self.pos], b'"');
+        let start = self.pos + 1;
+        let b = self.buf;
+        let mut i = start;
+        // Fast scan for a clean (escape-free) string.
+        while i < b.len() {
+            match b[i] {
+                b'"' => {
+                    let s = std::str::from_utf8(&b[start..i])
+                        .map_err(|_| JdmError::BadUtf8 { offset: start })?;
+                    self.pos = i + 1;
+                    return Ok(Cow::Borrowed(s));
+                }
+                b'\\' => break,
+                0x00..=0x1F => {
+                    return Err(JdmError::parse(i, "unescaped control character in string"))
+                }
+                _ => i += 1,
+            }
+        }
+        if i >= b.len() {
+            return Err(JdmError::UnexpectedEof { offset: i });
+        }
+        // Slow path with unescaping.
+        let mut out = String::with_capacity(i - start + 16);
+        out.push_str(
+            std::str::from_utf8(&b[start..i]).map_err(|_| JdmError::BadUtf8 { offset: start })?,
+        );
+        while i < b.len() {
+            match b[i] {
+                b'"' => {
+                    self.pos = i + 1;
+                    return Ok(Cow::Owned(out));
+                }
+                b'\\' => {
+                    i += 1;
+                    if i >= b.len() {
+                        return Err(JdmError::UnexpectedEof { offset: i });
+                    }
+                    match b[i] {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let cp = self.parse_hex4(i + 1)?;
+                            i += 4;
+                            if (0xD800..0xDC00).contains(&cp) {
+                                // High surrogate: require a following \uXXXX low half.
+                                if i + 6 < b.len() && b[i + 1] == b'\\' && b[i + 2] == b'u' {
+                                    let lo = self.parse_hex4(i + 3)?;
+                                    i += 6;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(JdmError::parse(i, "bad low surrogate"));
+                                    }
+                                    let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                    out.push(
+                                        char::from_u32(c).ok_or_else(|| {
+                                            JdmError::parse(i, "bad surrogate pair")
+                                        })?,
+                                    );
+                                } else {
+                                    return Err(JdmError::parse(i, "lone high surrogate"));
+                                }
+                            } else if (0xDC00..0xE000).contains(&cp) {
+                                return Err(JdmError::parse(i, "lone low surrogate"));
+                            } else {
+                                out.push(
+                                    char::from_u32(cp)
+                                        .ok_or_else(|| JdmError::parse(i, "bad \\u escape"))?,
+                                );
+                            }
+                        }
+                        other => {
+                            return Err(JdmError::parse(
+                                i,
+                                format!("bad escape '\\{}'", other as char),
+                            ))
+                        }
+                    }
+                    i += 1;
+                }
+                0x00..=0x1F => {
+                    return Err(JdmError::parse(i, "unescaped control character in string"))
+                }
+                _ => {
+                    // Copy a run of plain bytes (handles multi-byte UTF-8).
+                    let run_start = i;
+                    while i < b.len() && !matches!(b[i], b'"' | b'\\' | 0x00..=0x1F) {
+                        i += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&b[run_start..i])
+                            .map_err(|_| JdmError::BadUtf8 { offset: run_start })?,
+                    );
+                }
+            }
+        }
+        Err(JdmError::UnexpectedEof { offset: i })
+    }
+
+    fn parse_hex4(&self, at: usize) -> Result<u32> {
+        let b = self.buf;
+        if at + 4 > b.len() {
+            return Err(JdmError::UnexpectedEof { offset: at });
+        }
+        let mut v = 0u32;
+        for j in 0..4 {
+            let d = (b[at + j] as char)
+                .to_digit(16)
+                .ok_or_else(|| JdmError::parse(at + j, "bad hex digit in \\u escape"))?;
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    #[inline]
+    fn skip_ws(&mut self) {
+        while self.pos < self.buf.len()
+            && matches!(self.buf[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    /// Raw input buffer (crate-internal: used by the projector's lookahead).
+    #[inline]
+    pub(crate) fn raw_buf(&self) -> &'a [u8] {
+        self.buf
+    }
+
+    /// Raw cursor position (crate-internal: used by the projector's lookahead).
+    #[inline]
+    pub(crate) fn raw_pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Verify that only whitespace remains after the top-level value.
+    pub fn finish(mut self) -> Result<()> {
+        self.skip_ws();
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(JdmError::parse(self.pos, "trailing characters after value"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(src: &str) -> Vec<Event<'_>> {
+        let mut p = EventParser::new(src.as_bytes());
+        let mut out = Vec::new();
+        while let Some(ev) = p.next_event().unwrap() {
+            out.push(ev);
+        }
+        out
+    }
+
+    fn expect_err(src: &str) -> JdmError {
+        let mut p = EventParser::new(src.as_bytes());
+        loop {
+            match p.next_event() {
+                Ok(Some(_)) => continue,
+                Ok(None) => match EventParser::new(src.as_bytes()).finish() {
+                    Err(e) => return e,
+                    Ok(()) => panic!("expected error for {src:?}"),
+                },
+                Err(e) => return e,
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_events() {
+        assert_eq!(events("42"), vec![Event::Number(Number::Int(42))]);
+        assert_eq!(
+            events("-1.5e2"),
+            vec![Event::Number(Number::Double(-150.0))]
+        );
+        assert_eq!(events("true"), vec![Event::Bool(true)]);
+        assert_eq!(events("null"), vec![Event::Null]);
+        assert_eq!(events(r#""hi""#), vec![Event::String("hi".into())]);
+    }
+
+    #[test]
+    fn object_event_stream() {
+        let evs = events(r#"{"a": 1, "b": [true, null]}"#);
+        assert_eq!(
+            evs,
+            vec![
+                Event::StartObject,
+                Event::Key("a".into()),
+                Event::Number(Number::Int(1)),
+                Event::Key("b".into()),
+                Event::StartArray,
+                Event::Bool(true),
+                Event::Null,
+                Event::EndArray,
+                Event::EndObject,
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(events("{}"), vec![Event::StartObject, Event::EndObject]);
+        assert_eq!(events("[]"), vec![Event::StartArray, Event::EndArray]);
+        assert_eq!(
+            events("[[],{}]"),
+            vec![
+                Event::StartArray,
+                Event::StartArray,
+                Event::EndArray,
+                Event::StartObject,
+                Event::EndObject,
+                Event::EndArray
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            events(r#""a\nb\t\"c\" \\ A 😀""#),
+            vec![Event::String("a\nb\t\"c\" \\ A 😀".into())]
+        );
+    }
+
+    #[test]
+    fn borrowed_vs_owned_strings() {
+        let src = r#"["plain", "esc\n"]"#;
+        let mut p = EventParser::new(src.as_bytes());
+        p.next_event().unwrap(); // [
+        match p.next_event().unwrap().unwrap() {
+            Event::String(Cow::Borrowed(_)) => {}
+            other => panic!("expected borrowed, got {other:?}"),
+        }
+        match p.next_event().unwrap().unwrap() {
+            Event::String(Cow::Owned(_)) => {}
+            other => panic!("expected owned, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(matches!(expect_err("{"), JdmError::UnexpectedEof { .. }));
+        assert!(matches!(expect_err(r#"{"a" 1}"#), JdmError::Parse { .. }));
+        assert!(matches!(expect_err("[1,]"), JdmError::Parse { .. }));
+        assert!(matches!(expect_err("01"), JdmError::BadNumber { .. }));
+        assert!(matches!(expect_err("1 2"), JdmError::Parse { .. }));
+        assert!(matches!(expect_err("tru"), JdmError::Parse { .. }));
+        assert!(matches!(expect_err(r#""\q""#), JdmError::Parse { .. }));
+        assert!(matches!(expect_err(r#""\uD800""#), JdmError::Parse { .. }));
+    }
+
+    #[test]
+    fn skip_value_skips_nested_structure() {
+        let src = r#"{"skip": {"deep": [1, {"x": "}]"}]}, "keep": 7}"#;
+        let mut p = EventParser::new(src.as_bytes());
+        assert_eq!(p.next_event().unwrap(), Some(Event::StartObject));
+        assert_eq!(p.next_event().unwrap(), Some(Event::Key("skip".into())));
+        p.skip_value().unwrap();
+        assert_eq!(p.next_event().unwrap(), Some(Event::Key("keep".into())));
+        assert_eq!(p.next_event().unwrap(), Some(Event::Number(Number::Int(7))));
+        assert_eq!(p.next_event().unwrap(), Some(Event::EndObject));
+        assert_eq!(p.next_event().unwrap(), None);
+    }
+
+    #[test]
+    fn skip_value_on_atomics() {
+        let src = r#"[1, "two", true, null, 5]"#;
+        let mut p = EventParser::new(src.as_bytes());
+        p.next_event().unwrap(); // [
+        for _ in 0..4 {
+            p.skip_value().unwrap();
+        }
+        assert_eq!(p.next_event().unwrap(), Some(Event::Number(Number::Int(5))));
+        assert_eq!(p.next_event().unwrap(), Some(Event::EndArray));
+    }
+
+    #[test]
+    fn integer_overflow_becomes_double() {
+        let evs = events("123456789012345678901234567890");
+        match &evs[0] {
+            Event::Number(Number::Double(d)) => assert!(*d > 1e29),
+            other => panic!("expected double, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unicode_passthrough() {
+        assert_eq!(
+            events(r#""héllo ✓""#),
+            vec![Event::String("héllo ✓".into())]
+        );
+    }
+}

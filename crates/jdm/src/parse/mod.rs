@@ -1,0 +1,11 @@
+//! From-scratch JSON parsing: an event (SAX-style) layer and a tree builder.
+//!
+//! The event layer is the workhorse: both the tree builder and the
+//! path-projecting parser ([`crate::project`]) consume events, so the
+//! skip-heavy projection path never pays for building unneeded values.
+
+mod event;
+mod tree;
+
+pub use event::{Event, EventParser};
+pub use tree::{parse_item, parse_many, TreeBuilder};

@@ -1,0 +1,122 @@
+//! Projection paths — the DATASCAN "second argument" of the paper.
+//!
+//! A [`ProjectionPath`] is a sequence of navigation steps taken straight out
+//! of the query's leading path expression, e.g. for
+//! `collection("/sensors")("root")()("results")()` the pushed-down path is
+//! `[Key("root"), AllMembers, Key("results"), AllMembers]`.
+//!
+//! The pipelining rules (§4.2) extend the DATASCAN operator with such a
+//! path; the runtime then uses [`crate::project`] to stream only the
+//! matching sub-items out of each file.
+
+use std::fmt;
+
+/// One navigation step.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PathStep {
+    /// JSONiq `value` on an object: `("key")`.
+    Key(Box<str>),
+    /// JSONiq `value` on an array with a 1-based index: `(i)`.
+    Index(i64),
+    /// JSONiq `keys-or-members` applied to an *array*: `()` — emits every
+    /// member. (Applied to an object it would emit keys; the projecting
+    /// scan only pushes the array form down, matching the paper's plans.)
+    AllMembers,
+}
+
+/// A sequence of [`PathStep`]s pushed into a data scan.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct ProjectionPath {
+    steps: Vec<PathStep>,
+}
+
+impl ProjectionPath {
+    /// The empty path (scan emits whole files).
+    pub fn root() -> Self {
+        ProjectionPath { steps: Vec::new() }
+    }
+
+    /// Build from steps.
+    pub fn new(steps: Vec<PathStep>) -> Self {
+        ProjectionPath { steps }
+    }
+
+    /// Append one step (used by the pipelining rules as they merge path
+    /// expressions into the DATASCAN argument one at a time).
+    pub fn push(&mut self, step: PathStep) {
+        self.steps.push(step);
+    }
+
+    /// The steps.
+    pub fn steps(&self) -> &[PathStep] {
+        &self.steps
+    }
+
+    /// True when no navigation is pushed down.
+    pub fn is_root(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+impl fmt::Display for ProjectionPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.steps.is_empty() {
+            return write!(f, "$");
+        }
+        for s in &self.steps {
+            match s {
+                PathStep::Key(k) => write!(f, "(\"{k}\")")?,
+                PathStep::Index(i) => write!(f, "({i})")?,
+                PathStep::AllMembers => write!(f, "()")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<PathStep> for ProjectionPath {
+    fn from_iter<T: IntoIterator<Item = PathStep>>(iter: T) -> Self {
+        ProjectionPath {
+            steps: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_query_syntax() {
+        let p: ProjectionPath = [
+            PathStep::Key("root".into()),
+            PathStep::AllMembers,
+            PathStep::Key("results".into()),
+            PathStep::AllMembers,
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(p.to_string(), "(\"root\")()(\"results\")()");
+        assert_eq!(ProjectionPath::root().to_string(), "$");
+    }
+
+    #[test]
+    fn push_extends() {
+        let mut p = ProjectionPath::root();
+        assert!(p.is_root());
+        p.push(PathStep::Key("a".into()));
+        p.push(PathStep::Index(3));
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.to_string(), "(\"a\")(3)");
+    }
+}

@@ -1,0 +1,188 @@
+//! JSON text serialization (the inverse of [`crate::parse`]).
+//!
+//! Sequences are serialized as their items separated by newlines — that is
+//! how query results are printed, matching VXQuery's serializer behaviour
+//! for top-level sequences.
+
+use crate::item::Item;
+use std::fmt::{self, Write as _};
+
+/// Serialize an item to compact JSON text.
+pub fn to_string(item: &Item) -> String {
+    let mut s = String::new();
+    write_json(item, &mut s).expect("string formatting cannot fail");
+    s
+}
+
+/// Serialize with two-space indentation (examples / debugging).
+pub fn to_string_pretty(item: &Item) -> String {
+    let mut s = String::new();
+    write_pretty(item, &mut s, 0).expect("string formatting cannot fail");
+    s
+}
+
+fn write_json(item: &Item, out: &mut String) -> fmt::Result {
+    match item {
+        Item::Null => out.push_str("null"),
+        Item::Boolean(true) => out.push_str("true"),
+        Item::Boolean(false) => out.push_str("false"),
+        Item::Number(n) => write!(out, "{n}")?,
+        Item::String(s) => write_escaped(s, out),
+        Item::DateTime(d) => {
+            // dateTime has no JSON form; emit its lexical representation.
+            out.push('"');
+            write!(out, "{d}")?;
+            out.push('"');
+        }
+        Item::Array(members) => {
+            out.push('[');
+            for (i, m) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json(m, out)?;
+            }
+            out.push(']');
+        }
+        Item::Object(pairs) => {
+            out.push('{');
+            for (i, (k, v)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(k, out);
+                out.push(':');
+                write_json(v, out)?;
+            }
+            out.push('}');
+        }
+        Item::Sequence(items) => {
+            for (i, it) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push('\n');
+                }
+                write_json(it, out)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn write_pretty(item: &Item, out: &mut String, indent: usize) -> fmt::Result {
+    const PAD: &str = "  ";
+    match item {
+        Item::Array(members) if !members.is_empty() => {
+            out.push_str("[\n");
+            for (i, m) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                for _ in 0..=indent {
+                    out.push_str(PAD);
+                }
+                write_pretty(m, out, indent + 1)?;
+            }
+            out.push('\n');
+            for _ in 0..indent {
+                out.push_str(PAD);
+            }
+            out.push(']');
+        }
+        Item::Object(pairs) if !pairs.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, v)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                for _ in 0..=indent {
+                    out.push_str(PAD);
+                }
+                write_escaped(k, out);
+                out.push_str(": ");
+                write_pretty(v, out, indent + 1)?;
+            }
+            out.push('\n');
+            for _ in 0..indent {
+                out.push_str(PAD);
+            }
+            out.push('}');
+        }
+        Item::Sequence(items) => {
+            for (i, it) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push('\n');
+                }
+                write_pretty(it, out, indent)?;
+            }
+        }
+        other => write_json(other, out)?,
+    }
+    Ok(())
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Item {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&to_string(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_item;
+
+    fn rt(src: &str) {
+        let item = parse_item(src.as_bytes()).unwrap();
+        let text = to_string(&item);
+        let back = parse_item(text.as_bytes()).unwrap();
+        assert_eq!(item, back, "text round trip for {src}");
+    }
+
+    #[test]
+    fn round_trips_via_text() {
+        rt("null");
+        rt(r#"{"a": [1, 2.5, "x\ny", {"b": []}], "c": true}"#);
+        rt(r#""quotes \" and \\ backslash""#);
+        rt("[\"\\u0001\"]");
+    }
+
+    #[test]
+    fn compact_output_shape() {
+        let item = parse_item(br#"{ "a" : [ 1 , 2 ] }"#).unwrap();
+        assert_eq!(to_string(&item), r#"{"a":[1,2]}"#);
+    }
+
+    #[test]
+    fn sequences_print_one_per_line() {
+        let s = Item::seq([Item::int(1), Item::str("x")]);
+        assert_eq!(to_string(&s), "1\n\"x\"");
+    }
+
+    #[test]
+    fn pretty_output_is_reparseable() {
+        let item = parse_item(br#"{"a":[1,{"b":2}],"c":{}}"#).unwrap();
+        let pretty = to_string_pretty(&item);
+        assert!(pretty.contains('\n'));
+        assert_eq!(parse_item(pretty.as_bytes()).unwrap(), item);
+    }
+}

@@ -1,0 +1,91 @@
+//! Abstract syntax tree for the supported JSONiq subset.
+
+use jdm::Item;
+
+/// Binary operators, in XQuery surface syntax.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Or,
+    And,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    IDiv,
+}
+
+impl BinOp {
+    pub fn name(self) -> &'static str {
+        use BinOp::*;
+        match self {
+            Or => "or",
+            And => "and",
+            Eq => "eq",
+            Ne => "ne",
+            Lt => "lt",
+            Le => "le",
+            Gt => "gt",
+            Ge => "ge",
+            Add => "+",
+            Sub => "-",
+            Mul => "*",
+            Div => "div",
+            IDiv => "idiv",
+        }
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Literal (string / number).
+    Literal(Item),
+    /// `$name`
+    VarRef(String),
+    /// `name(args...)`
+    FnCall { name: String, args: Vec<Expr> },
+    /// JSONiq `value` step: `base("key")` or `base(2)` or `base($k)`.
+    PathValue { base: Box<Expr>, arg: Box<Expr> },
+    /// JSONiq `keys-or-members` step: `base()`.
+    PathKom { base: Box<Expr> },
+    /// Binary operation.
+    Binary {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+    /// Unary minus.
+    Neg(Box<Expr>),
+    /// FLWOR expression.
+    Flwor {
+        clauses: Vec<Clause>,
+        ret: Box<Expr>,
+    },
+}
+
+/// One FLWOR clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Clause {
+    For {
+        var: String,
+        expr: Expr,
+    },
+    Let {
+        var: String,
+        expr: Expr,
+    },
+    Where(Expr),
+    GroupBy {
+        keys: Vec<(String, Expr)>,
+    },
+    /// Keys with `true` = ascending.
+    OrderBy {
+        keys: Vec<(Expr, bool)>,
+    },
+}

@@ -1,0 +1,32 @@
+//! Frontend errors.
+
+use std::fmt;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ParseError>;
+
+/// Lexing, parsing, or translation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the query text (best effort for translation errors).
+    pub offset: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl ParseError {
+    pub fn new(offset: usize, msg: impl Into<String>) -> Self {
+        ParseError {
+            offset,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "query error at byte {}: {}", self.offset, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}

@@ -1,0 +1,359 @@
+//! Tokenizer for the JSONiq-extension-to-XQuery subset.
+//!
+//! XQuery names may contain hyphens (`year-from-dateTime`), so `-` joins
+//! an identifier when it is immediately surrounded by name characters;
+//! subtraction therefore requires whitespace (as the paper's queries are
+//! written: `$r_max("value") - $r_min("value")`).
+
+use crate::error::{ParseError, Result};
+
+/// One token with its source offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub offset: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// `$name`
+    Var(String),
+    /// Identifier / keyword (keywords are contextual in XQuery).
+    Name(String),
+    /// String literal (unescaped).
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Decimal/double literal.
+    Double(f64),
+    LParen,
+    RParen,
+    Comma,
+    /// `:=`
+    Bind,
+    Plus,
+    Minus,
+    Star,
+    Eof,
+}
+
+impl TokenKind {
+    /// Is this the contextual keyword `kw`?
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, TokenKind::Name(n) if n == kw)
+    }
+}
+
+/// Tokenize the whole query.
+pub fn tokenize(src: &str) -> Result<Vec<Token>> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b' ' | b'\t' | b'\n' | b'\r' => i += 1,
+            b'(' => {
+                // XQuery comment `(: ... :)`
+                if i + 1 < b.len() && b[i + 1] == b':' {
+                    let mut depth = 1;
+                    let mut j = i + 2;
+                    while j + 1 < b.len() && depth > 0 {
+                        if b[j] == b'(' && b[j + 1] == b':' {
+                            depth += 1;
+                            j += 2;
+                        } else if b[j] == b':' && b[j + 1] == b')' {
+                            depth -= 1;
+                            j += 2;
+                        } else {
+                            j += 1;
+                        }
+                    }
+                    if depth > 0 {
+                        return Err(ParseError::new(i, "unterminated comment"));
+                    }
+                    i = j;
+                } else {
+                    out.push(Token {
+                        kind: TokenKind::LParen,
+                        offset: i,
+                    });
+                    i += 1;
+                }
+            }
+            b')' => {
+                out.push(Token {
+                    kind: TokenKind::RParen,
+                    offset: i,
+                });
+                i += 1;
+            }
+            b',' => {
+                out.push(Token {
+                    kind: TokenKind::Comma,
+                    offset: i,
+                });
+                i += 1;
+            }
+            b'+' => {
+                out.push(Token {
+                    kind: TokenKind::Plus,
+                    offset: i,
+                });
+                i += 1;
+            }
+            b'*' => {
+                out.push(Token {
+                    kind: TokenKind::Star,
+                    offset: i,
+                });
+                i += 1;
+            }
+            b':' => {
+                if i + 1 < b.len() && b[i + 1] == b'=' {
+                    out.push(Token {
+                        kind: TokenKind::Bind,
+                        offset: i,
+                    });
+                    i += 2;
+                } else {
+                    return Err(ParseError::new(i, "expected ':='"));
+                }
+            }
+            b'$' => {
+                let start = i + 1;
+                let end = scan_name(b, start);
+                if end == start {
+                    return Err(ParseError::new(i, "expected variable name after '$'"));
+                }
+                out.push(Token {
+                    kind: TokenKind::Var(src[start..end].to_string()),
+                    offset: i,
+                });
+                i = end;
+            }
+            b'"' | b'\'' => {
+                let quote = c;
+                let mut j = i + 1;
+                let mut s = String::new();
+                loop {
+                    if j >= b.len() {
+                        return Err(ParseError::new(i, "unterminated string literal"));
+                    }
+                    if b[j] == quote {
+                        // XQuery escapes quotes by doubling.
+                        if j + 1 < b.len() && b[j + 1] == quote {
+                            s.push(quote as char);
+                            j += 2;
+                            continue;
+                        }
+                        break;
+                    }
+                    // Copy one UTF-8 character.
+                    let ch_len = utf8_len(b[j]);
+                    s.push_str(&src[j..j + ch_len]);
+                    j += ch_len;
+                }
+                out.push(Token {
+                    kind: TokenKind::Str(s),
+                    offset: i,
+                });
+                i = j + 1;
+            }
+            b'-' => {
+                out.push(Token {
+                    kind: TokenKind::Minus,
+                    offset: i,
+                });
+                i += 1;
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_double = false;
+                if i < b.len() && b[i] == b'.' {
+                    is_double = true;
+                    i += 1;
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < b.len() && (b[i] == b'e' || b[i] == b'E') {
+                    is_double = true;
+                    i += 1;
+                    if i < b.len() && (b[i] == b'+' || b[i] == b'-') {
+                        i += 1;
+                    }
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &src[start..i];
+                let kind = if is_double {
+                    TokenKind::Double(
+                        text.parse()
+                            .map_err(|_| ParseError::new(start, "bad number"))?,
+                    )
+                } else {
+                    TokenKind::Int(
+                        text.parse()
+                            .map_err(|_| ParseError::new(start, "bad number"))?,
+                    )
+                };
+                out.push(Token {
+                    kind,
+                    offset: start,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let end = scan_name(b, i);
+                out.push(Token {
+                    kind: TokenKind::Name(src[i..end].to_string()),
+                    offset: i,
+                });
+                i = end;
+            }
+            other => {
+                return Err(ParseError::new(
+                    i,
+                    format!("unexpected character {:?}", other as char),
+                ))
+            }
+        }
+    }
+    out.push(Token {
+        kind: TokenKind::Eof,
+        offset: b.len(),
+    });
+    Ok(out)
+}
+
+/// Scan a name: letters, digits, `_`, and `-` when followed by a name char.
+fn scan_name(b: &[u8], start: usize) -> usize {
+    let mut i = start;
+    while i < b.len() {
+        let c = b[i];
+        let hyphen_joins = c == b'-'
+            && i + 1 < b.len()
+            && (b[i + 1].is_ascii_alphanumeric() || b[i + 1] == b'_')
+            && i > start;
+        if c.is_ascii_alphanumeric() || c == b'_' || hyphen_joins {
+            i += 1;
+        } else {
+            break;
+        }
+    }
+    i
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn tokenizes_path_query() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds(r#"collection("/books")("bookstore")()"#),
+            vec![
+                Name("collection".into()),
+                LParen,
+                Str("/books".into()),
+                RParen,
+                LParen,
+                Str("bookstore".into()),
+                RParen,
+                LParen,
+                RParen,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn hyphenated_names_are_single_tokens() {
+        assert_eq!(
+            kinds("year-from-dateTime($d)"),
+            vec![
+                TokenKind::Name("year-from-dateTime".into()),
+                TokenKind::LParen,
+                TokenKind::Var("d".into()),
+                TokenKind::RParen,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn minus_with_spaces_is_subtraction() {
+        assert_eq!(
+            kinds("$a - $b"),
+            vec![
+                TokenKind::Var("a".into()),
+                TokenKind::Minus,
+                TokenKind::Var("b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_bind() {
+        assert_eq!(
+            kinds("let $x := 10 div 2.5"),
+            vec![
+                TokenKind::Name("let".into()),
+                TokenKind::Var("x".into()),
+                TokenKind::Bind,
+                TokenKind::Int(10),
+                TokenKind::Name("div".into()),
+                TokenKind::Double(2.5),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("1 (: a (: nested :) comment :) + 2"),
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Plus,
+                TokenKind::Int(2),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn doubled_quote_escapes() {
+        assert_eq!(
+            kinds(r#""say ""hi""""#),
+            vec![TokenKind::Str("say \"hi\"".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(tokenize("a ; b").is_err());
+        assert!(tokenize("\"open").is_err());
+        assert!(tokenize("$").is_err());
+    }
+}

@@ -1,0 +1,41 @@
+//! # jsoniq — the query language frontend
+//!
+//! Implements the subset of the *JSONiq extension to the XQuery
+//! specification* that the paper's system and evaluation exercise:
+//!
+//! * FLWOR expressions (`for` / `let` / `where` / `group by` / `return`),
+//!   including multiple `for` clauses (joins) and FLWORs nested inside
+//!   aggregate function calls;
+//! * JSONiq navigation: the postfix `value` step `E("key")` / `E(i)` and
+//!   the `keys-or-members` step `E()`;
+//! * general comparisons (`eq ne lt le gt ge`), boolean `and`/`or`,
+//!   arithmetic (`+ - * div idiv`);
+//! * the built-ins the evaluation queries use: `collection`, `json-doc`,
+//!   `count`, `sum`, `avg`, `min`, `max`, `data`, `dateTime`,
+//!   `year-from-dateTime`, `month-from-dateTime`, `day-from-dateTime`.
+//!
+//! The pipeline is the paper's (§3.1): query string → [`parser`] → AST →
+//! [`translate`] → **naive** logical plan (the shapes of the paper's
+//! Figs. 3, 5 and 9, complete with `promote`/`data`/`treat` scaffolding),
+//! which the `algebra` crate's rewrite rules then optimize.
+//!
+//! ```
+//! use jsoniq::compile;
+//!
+//! let plan = compile(r#"json-doc("books.json")("bookstore")("book")()"#).unwrap();
+//! assert!(plan.explain().contains("keys-or-members"));
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod translate;
+
+pub use error::{ParseError, Result};
+
+/// Parse and translate a query into its naive logical plan.
+pub fn compile(query: &str) -> Result<algebra::LogicalPlan> {
+    let expr = parser::parse(query)?;
+    translate::translate(&expr)
+}

@@ -1,0 +1,515 @@
+//! Recursive-descent parser.
+//!
+//! Precedence (loosest to tightest): FLWOR, `or`, `and`, comparison,
+//! additive, multiplicative, unary minus, postfix path steps, primary.
+//! Postfix `(...)` after any primary is a JSONiq navigation step; a name
+//! immediately followed by `(` is a function call whose *result* may then
+//! take further postfix steps — exactly how
+//! `collection("/sensors")("root")()` reads.
+
+use crate::ast::{BinOp, Clause, Expr};
+use crate::error::{ParseError, Result};
+use crate::lexer::{tokenize, Token, TokenKind};
+use jdm::{Item, Number};
+
+/// Parse a complete query.
+pub fn parse(src: &str) -> Result<Expr> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens[self.pos].offset
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let k = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<()> {
+        if self.peek() == kind {
+            self.bump();
+            Ok(())
+        } else {
+            Err(ParseError::new(
+                self.offset(),
+                format!("expected {what}, found {:?}", self.peek()),
+            ))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        if matches!(self.peek(), TokenKind::Eof) {
+            Ok(())
+        } else {
+            Err(ParseError::new(
+                self.offset(),
+                format!("unexpected trailing {:?}", self.peek()),
+            ))
+        }
+    }
+
+    fn expect_var(&mut self) -> Result<String> {
+        match self.bump() {
+            TokenKind::Var(n) => Ok(n),
+            other => Err(ParseError::new(
+                self.offset(),
+                format!("expected $variable, found {other:?}"),
+            )),
+        }
+    }
+
+    /// Entry: FLWOR or plain expression.
+    fn expr(&mut self) -> Result<Expr> {
+        if self.peek().is_kw("for") || self.peek().is_kw("let") {
+            return self.flwor();
+        }
+        self.or_expr()
+    }
+
+    fn flwor(&mut self) -> Result<Expr> {
+        let mut clauses = Vec::new();
+        loop {
+            if self.eat_kw("for") {
+                loop {
+                    let var = self.expect_var()?;
+                    if !self.eat_kw("in") {
+                        return Err(ParseError::new(self.offset(), "expected 'in'"));
+                    }
+                    let e = self.expr()?;
+                    clauses.push(Clause::For { var, expr: e });
+                    if !matches!(self.peek(), TokenKind::Comma) {
+                        break;
+                    }
+                    self.bump();
+                }
+            } else if self.eat_kw("let") {
+                loop {
+                    let var = self.expect_var()?;
+                    self.expect(&TokenKind::Bind, "':='")?;
+                    let e = self.expr()?;
+                    clauses.push(Clause::Let { var, expr: e });
+                    if !matches!(self.peek(), TokenKind::Comma) {
+                        break;
+                    }
+                    self.bump();
+                }
+            } else if self.eat_kw("where") {
+                let e = self.or_expr()?;
+                clauses.push(Clause::Where(e));
+            } else if self.peek().is_kw("group") && self.peek2().is_kw("by") {
+                self.bump();
+                self.bump();
+                let mut keys = Vec::new();
+                loop {
+                    let var = self.expect_var()?;
+                    self.expect(&TokenKind::Bind, "':='")?;
+                    let e = self.or_expr()?;
+                    keys.push((var, e));
+                    if !matches!(self.peek(), TokenKind::Comma) {
+                        break;
+                    }
+                    self.bump();
+                }
+                clauses.push(Clause::GroupBy { keys });
+            } else if self.peek().is_kw("order") && self.peek2().is_kw("by") {
+                self.bump();
+                self.bump();
+                let mut keys = Vec::new();
+                loop {
+                    let e = self.or_expr()?;
+                    let asc = if self.eat_kw("descending") {
+                        false
+                    } else {
+                        self.eat_kw("ascending");
+                        true
+                    };
+                    keys.push((e, asc));
+                    if !matches!(self.peek(), TokenKind::Comma) {
+                        break;
+                    }
+                    self.bump();
+                }
+                clauses.push(Clause::OrderBy { keys });
+            } else if self.eat_kw("return") {
+                let ret = self.expr()?;
+                return Ok(Expr::Flwor {
+                    clauses,
+                    ret: Box::new(ret),
+                });
+            } else {
+                return Err(ParseError::new(
+                    self.offset(),
+                    format!("expected FLWOR clause or 'return', found {:?}", self.peek()),
+                ));
+            }
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_kw("or") {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.cmp_expr()?;
+        while self.eat_kw("and") {
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Binary {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            k if k.is_kw("eq") => Some(BinOp::Eq),
+            k if k.is_kw("ne") => Some(BinOp::Ne),
+            k if k.is_kw("lt") => Some(BinOp::Lt),
+            k if k.is_kw("le") => Some(BinOp::Le),
+            k if k.is_kw("gt") => Some(BinOp::Gt),
+            k if k.is_kw("ge") => Some(BinOp::Ge),
+            _ => None,
+        };
+        match op {
+            Some(op) => {
+                self.bump();
+                let rhs = self.add_expr()?;
+                Ok(Expr::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                })
+            }
+            None => Ok(lhs),
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                k if k.is_kw("div") => BinOp::Div,
+                k if k.is_kw("idiv") => BinOp::IDiv,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr> {
+        if matches!(self.peek(), TokenKind::Minus) {
+            self.bump();
+            let inner = self.unary_expr()?;
+            return Ok(Expr::Neg(Box::new(inner)));
+        }
+        self.postfix_expr()
+    }
+
+    /// Primary followed by any number of JSONiq path steps.
+    fn postfix_expr(&mut self) -> Result<Expr> {
+        let mut base = self.primary()?;
+        loop {
+            if !matches!(self.peek(), TokenKind::LParen) {
+                return Ok(base);
+            }
+            self.bump();
+            if matches!(self.peek(), TokenKind::RParen) {
+                self.bump();
+                base = Expr::PathKom {
+                    base: Box::new(base),
+                };
+            } else {
+                let arg = self.expr()?;
+                self.expect(&TokenKind::RParen, "')'")?;
+                base = Expr::PathValue {
+                    base: Box::new(base),
+                    arg: Box::new(arg),
+                };
+            }
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.bump() {
+            TokenKind::Int(i) => Ok(Expr::Literal(Item::Number(Number::Int(i)))),
+            TokenKind::Double(d) => Ok(Expr::Literal(Item::Number(Number::Double(d)))),
+            TokenKind::Str(s) => Ok(Expr::Literal(Item::str(s))),
+            TokenKind::Var(name) => Ok(Expr::VarRef(name)),
+            TokenKind::LParen => {
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen, "')'")?;
+                Ok(e)
+            }
+            TokenKind::Name(name) => {
+                // A name in expression position must be a function call
+                // (keywords were consumed by the clause machinery).
+                if !matches!(self.peek(), TokenKind::LParen) {
+                    return Err(ParseError::new(
+                        self.offset(),
+                        format!("expected '(' after function name '{name}'"),
+                    ));
+                }
+                self.bump();
+                let mut args = Vec::new();
+                if !matches!(self.peek(), TokenKind::RParen) {
+                    loop {
+                        args.push(self.expr()?);
+                        if matches!(self.peek(), TokenKind::Comma) {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&TokenKind::RParen, "')'")?;
+                Ok(Expr::FnCall { name, args })
+            }
+            other => Err(ParseError::new(
+                self.offset(),
+                format!("unexpected token {other:?}"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_bookstore_path() {
+        let e = parse(r#"json-doc("books.json")("bookstore")("book")()"#).unwrap();
+        // Shape: Kom(Value(Value(FnCall json-doc, "bookstore"), "book"))
+        let Expr::PathKom { base } = e else {
+            panic!("expected kom at top: {e:?}")
+        };
+        let Expr::PathValue { base, arg } = *base else {
+            panic!("expected value")
+        };
+        assert_eq!(*arg, Expr::Literal(Item::str("book")));
+        let Expr::PathValue { base, .. } = *base else {
+            panic!("expected value")
+        };
+        assert!(matches!(*base, Expr::FnCall { ref name, .. } if name == "json-doc"));
+    }
+
+    #[test]
+    fn parses_flwor_with_group_by() {
+        let q = r#"
+            for $r in collection("/sensors")("root")()("results")()
+            where $r("dataType") eq "TMIN"
+            group by $date := $r("date")
+            return count($r("station"))
+        "#;
+        let Expr::Flwor { clauses, ret } = parse(q).unwrap() else {
+            panic!("expected flwor")
+        };
+        assert_eq!(clauses.len(), 3);
+        assert!(matches!(&clauses[0], Clause::For { var, .. } if var == "r"));
+        assert!(matches!(&clauses[1], Clause::Where(_)));
+        assert!(matches!(&clauses[2], Clause::GroupBy { keys } if keys[0].0 == "date"));
+        assert!(matches!(*ret, Expr::FnCall { ref name, .. } if name == "count"));
+    }
+
+    #[test]
+    fn parses_nested_flwor_in_count() {
+        let q = r#"
+            for $r in collection("/s")("root")()
+            group by $d := $r("date")
+            return count(for $i in $r return $i("station"))
+        "#;
+        let Expr::Flwor { ret, .. } = parse(q).unwrap() else {
+            panic!()
+        };
+        let Expr::FnCall { name, args } = *ret else {
+            panic!()
+        };
+        assert_eq!(name, "count");
+        assert!(matches!(args[0], Expr::Flwor { .. }));
+    }
+
+    #[test]
+    fn parses_q2_join_shape() {
+        let q = r#"
+            avg(
+              for $a in collection("/s")("root")()("results")()
+              for $b in collection("/s")("root")()("results")()
+              where $a("station") eq $b("station")
+                and $a("dataType") eq "TMIN"
+              return $b("value") - $a("value")
+            ) div 10
+        "#;
+        let e = parse(q).unwrap();
+        let Expr::Binary {
+            op: BinOp::Div,
+            lhs,
+            rhs,
+        } = e
+        else {
+            panic!("expected div: {e:?}")
+        };
+        assert_eq!(*rhs, Expr::Literal(Item::int(10)));
+        let Expr::FnCall { name, args } = *lhs else {
+            panic!()
+        };
+        assert_eq!(name, "avg");
+        let Expr::Flwor { clauses, .. } = &args[0] else {
+            panic!()
+        };
+        assert!(matches!(&clauses[0], Clause::For { .. }));
+        assert!(matches!(&clauses[1], Clause::For { .. }));
+        assert!(matches!(&clauses[2], Clause::Where(_)));
+    }
+
+    #[test]
+    fn precedence_and_parens() {
+        let e = parse("1 + 2 * 3").unwrap();
+        let Expr::Binary {
+            op: BinOp::Add,
+            rhs,
+            ..
+        } = e
+        else {
+            panic!()
+        };
+        assert!(matches!(*rhs, Expr::Binary { op: BinOp::Mul, .. }));
+
+        let e = parse("(1 + 2) * 3").unwrap();
+        assert!(matches!(e, Expr::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn unary_minus() {
+        let e = parse("- $x + 1").unwrap();
+        let Expr::Binary {
+            op: BinOp::Add,
+            lhs,
+            ..
+        } = e
+        else {
+            panic!()
+        };
+        assert!(matches!(*lhs, Expr::Neg(_)));
+    }
+
+    #[test]
+    fn comparison_in_where_binds_looser_than_path() {
+        let q = r#"for $x in $y return $x("a") eq "b""#;
+        let Expr::Flwor { ret, .. } = parse(q).unwrap() else {
+            panic!()
+        };
+        assert!(matches!(*ret, Expr::Binary { op: BinOp::Eq, .. }));
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = parse("for $x retur $x").unwrap_err();
+        assert!(err.msg.contains("expected 'in'"), "{err}");
+        assert!(parse("count(").is_err());
+        assert!(parse("1 +").is_err());
+        assert!(parse("bare-name").is_err());
+    }
+
+    #[test]
+    fn let_clause() {
+        let q = r#"for $r in $s let $d := dateTime(data($r("date"))) where $d eq "x" return $r"#;
+        let Expr::Flwor { clauses, .. } = parse(q).unwrap() else {
+            panic!()
+        };
+        assert!(matches!(&clauses[1], Clause::Let { var, .. } if var == "d"));
+    }
+}
+
+#[cfg(test)]
+mod order_by_tests {
+    use super::*;
+
+    #[test]
+    fn order_by_directions() {
+        let q = r#"for $x in $y order by $x("a") descending, $x("b") ascending, $x("c") return $x"#;
+        let Expr::Flwor { clauses, .. } = parse(q).unwrap() else {
+            panic!()
+        };
+        let Clause::OrderBy { keys } = &clauses[1] else {
+            panic!("expected order by, got {clauses:?}")
+        };
+        let dirs: Vec<bool> = keys.iter().map(|(_, asc)| *asc).collect();
+        assert_eq!(dirs, vec![false, true, true]);
+    }
+
+    #[test]
+    fn order_by_then_return() {
+        let q = "for $x in $y order by $x return $x";
+        assert!(parse(q).is_ok());
+    }
+}

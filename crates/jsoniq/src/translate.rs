@@ -1,0 +1,857 @@
+//! AST → naive logical plan.
+//!
+//! The translator deliberately produces the *unoptimized* shapes of the
+//! paper's figures — `promote`/`data` wrappers around document arguments
+//! (Fig. 3), `ASSIGN collection` + `UNNEST iterate` for collections
+//! (Fig. 5), `AGGREGATE sequence` + `ASSIGN treat` around GROUP-BY
+//! (Fig. 9) — so that the rewrite rules have exactly the work the paper
+//! describes. Two deviations from a full XQuery translator, both noted in
+//! DESIGN.md: multiple independent `for` clauses become a JOIN operator
+//! directly (join recognition is assumed), and `group by` supports one
+//! grouped (non-key) variable, which covers the paper's workload.
+
+use crate::ast::{BinOp, Clause, Expr};
+use crate::error::{ParseError, Result};
+use algebra::expr::{AggFunc, Function, LogicalExpr};
+use algebra::plan::{LogicalOp, LogicalPlan, VarGen, VarId};
+use jdm::Item;
+use std::collections::HashMap;
+
+/// Translate a parsed query into its naive logical plan.
+pub fn translate(expr: &Expr) -> Result<LogicalPlan> {
+    let mut t = Translator {
+        gen: VarGen::new(),
+        scope: HashMap::new(),
+    };
+    let root = t.translate_top(expr)?;
+    Ok(LogicalPlan::new(root))
+}
+
+/// How a surface name is bound.
+#[derive(Debug, Clone, Copy)]
+enum Binding {
+    /// One item per tuple (for/let variables).
+    Item(VarId),
+    /// A grouped sequence (after `group by`).
+    Sequence(VarId),
+}
+
+impl Binding {
+    fn var(self) -> VarId {
+        match self {
+            Binding::Item(v) | Binding::Sequence(v) => v,
+        }
+    }
+}
+
+struct Translator {
+    gen: VarGen,
+    scope: HashMap<String, Binding>,
+}
+
+/// The aggregate functions recognised over FLWOR / grouped sequences.
+fn aggregate_function(name: &str) -> Option<Function> {
+    match name {
+        "count" => Some(Function::Count),
+        "sum" => Some(Function::Sum),
+        "avg" => Some(Function::Avg),
+        "min" => Some(Function::Min),
+        "max" => Some(Function::Max),
+        _ => None,
+    }
+}
+
+impl Translator {
+    // ---------------------------------------------------------------- top
+
+    fn translate_top(&mut self, expr: &Expr) -> Result<LogicalOp> {
+        match expr {
+            Expr::Flwor { clauses, ret } => {
+                let (op, out) = self.flwor_stream(clauses, ret, LogicalOp::EmptyTupleSource)?;
+                Ok(LogicalOp::Distribute {
+                    exprs: vec![out],
+                    input: Box::new(op),
+                })
+            }
+            _ => {
+                // `avg(FLWOR) div 10` — an aggregate call over a FLWOR
+                // embedded in scalar context (Q2's shape).
+                if let Some(call) = find_agg_over_flwor(expr) {
+                    let Expr::FnCall { name, args } = call else {
+                        unreachable!()
+                    };
+                    let func = aggregate_function(name).expect("checked by finder");
+                    let Expr::Flwor { clauses, ret } = &args[0] else {
+                        unreachable!()
+                    };
+                    let (chain, out) =
+                        self.flwor_stream(clauses, ret, LogicalOp::EmptyTupleSource)?;
+                    let agg_var = self.gen.fresh();
+                    let agg = LogicalOp::Aggregate {
+                        var: agg_var,
+                        func: AggFunc::from_scalar(func).expect("aggregate function"),
+                        arg: out,
+                        input: Box::new(chain),
+                    };
+                    let result = self.scalar_replacing(expr, call, agg_var)?;
+                    let res_var = self.gen.fresh();
+                    let assign = LogicalOp::Assign {
+                        var: res_var,
+                        expr: result,
+                        input: Box::new(agg),
+                    };
+                    return Ok(LogicalOp::Distribute {
+                        exprs: vec![LogicalExpr::Var(res_var)],
+                        input: Box::new(assign),
+                    });
+                }
+                // A bare path query (the bookstore examples): stream items.
+                if is_pathlike(expr) {
+                    let (op, v) = self.bind_sequence(expr, LogicalOp::EmptyTupleSource)?;
+                    return Ok(LogicalOp::Distribute {
+                        exprs: vec![LogicalExpr::Var(v)],
+                        input: Box::new(op),
+                    });
+                }
+                // Pure scalar query (`1 + 1`).
+                let e = self.scalar(expr)?;
+                let v = self.gen.fresh();
+                let assign = LogicalOp::Assign {
+                    var: v,
+                    expr: e,
+                    input: Box::new(LogicalOp::EmptyTupleSource),
+                };
+                Ok(LogicalOp::Distribute {
+                    exprs: vec![LogicalExpr::Var(v)],
+                    input: Box::new(assign),
+                })
+            }
+        }
+    }
+
+    // -------------------------------------------------------------- FLWOR
+
+    /// Translate a FLWOR into an operator chain; returns the chain and the
+    /// per-tuple result expression.
+    fn flwor_stream(
+        &mut self,
+        clauses: &[Clause],
+        ret: &Expr,
+        input: LogicalOp,
+    ) -> Result<(LogicalOp, LogicalExpr)> {
+        let mut op = input;
+        let mut have_source = false;
+
+        for clause in clauses {
+            match clause {
+                Clause::For { var, expr } => {
+                    if have_source && is_independent(expr, &self.scope) {
+                        // Second data source: a join (the translator
+                        // performs join recognition; the WHERE above will
+                        // supply the condition, split by the base rules).
+                        let (right, v) = self.bind_sequence(expr, LogicalOp::EmptyTupleSource)?;
+                        op = LogicalOp::Join {
+                            cond: LogicalExpr::Const(Item::Boolean(true)),
+                            left: Box::new(op),
+                            right: Box::new(right),
+                        };
+                        self.scope.insert(var.clone(), Binding::Item(v));
+                    } else {
+                        let (chain, v) = self.bind_sequence(expr, op)?;
+                        op = chain;
+                        self.scope.insert(var.clone(), Binding::Item(v));
+                    }
+                    have_source = true;
+                }
+                Clause::Let { var, expr } => {
+                    let e = self.scalar(expr)?;
+                    let v = self.gen.fresh();
+                    op = LogicalOp::Assign {
+                        var: v,
+                        expr: e,
+                        input: Box::new(op),
+                    };
+                    self.scope.insert(var.clone(), Binding::Item(v));
+                }
+                Clause::Where(cond) => {
+                    let e = self.scalar(cond)?;
+                    op = LogicalOp::Select {
+                        cond: e,
+                        input: Box::new(op),
+                    };
+                }
+                Clause::GroupBy { keys } => {
+                    op = self.translate_group_by(keys, op)?;
+                }
+                Clause::OrderBy { keys } => {
+                    let mut tkeys = Vec::with_capacity(keys.len());
+                    for (e, asc) in keys {
+                        tkeys.push((self.scalar(e)?, *asc));
+                    }
+                    op = LogicalOp::OrderBy {
+                        keys: tkeys,
+                        input: Box::new(op),
+                    };
+                }
+            }
+        }
+
+        let out = self.translate_return(ret, &mut op)?;
+        Ok((op, out))
+    }
+
+    /// GROUP-BY with the paper's naive inner focus: `AGGREGATE sequence`.
+    fn translate_group_by(
+        &mut self,
+        keys: &[(String, Expr)],
+        mut op: LogicalOp,
+    ) -> Result<LogicalOp> {
+        // Evaluate key expressions below the group-by (Fig. 9's ASSIGN).
+        let mut group_keys = Vec::new();
+        let mut new_scope: HashMap<String, Binding> = HashMap::new();
+        for (name, kexpr) in keys {
+            let e = self.scalar(kexpr)?;
+            let kv = self.gen.fresh();
+            op = LogicalOp::Assign {
+                var: kv,
+                expr: e,
+                input: Box::new(op),
+            };
+            let gk = self.gen.fresh();
+            group_keys.push((gk, LogicalExpr::Var(kv)));
+            new_scope.insert(name.clone(), Binding::Item(gk));
+        }
+
+        // The grouped (non-key) variable: exactly one supported.
+        let grouped: Vec<(String, VarId)> = self
+            .scope
+            .iter()
+            .filter_map(|(n, b)| match b {
+                Binding::Item(v) if !new_scope.contains_key(n) => Some((n.clone(), *v)),
+                _ => None,
+            })
+            .collect();
+        let [(gname, gvar)] = grouped.as_slice() else {
+            return Err(ParseError::new(
+                0,
+                format!(
+                    "group by supports exactly one grouped variable, found {}",
+                    grouped.len()
+                ),
+            ));
+        };
+
+        let seq_var = self.gen.fresh();
+        let nested = LogicalOp::Aggregate {
+            var: seq_var,
+            func: AggFunc::Sequence,
+            arg: LogicalExpr::Var(*gvar),
+            input: Box::new(LogicalOp::NestedTupleSource),
+        };
+        new_scope.insert(gname.clone(), Binding::Sequence(seq_var));
+        self.scope = new_scope;
+        Ok(LogicalOp::GroupBy {
+            keys: group_keys,
+            nested: Box::new(nested),
+            input: Box::new(op),
+        })
+    }
+
+    /// Translate the `return` expression, possibly extending the chain.
+    fn translate_return(&mut self, ret: &Expr, op: &mut LogicalOp) -> Result<LogicalExpr> {
+        // Aggregate call in return position.
+        if let Expr::FnCall { name, args } = ret {
+            if let (Some(func), [arg]) = (aggregate_function(name), args.as_slice()) {
+                return self.translate_return_aggregate(func, arg, op);
+            }
+        }
+        // `return $x` with a direct binding: no assign needed.
+        if let Expr::VarRef(name) = ret {
+            if let Some(b) = self.scope.get(name) {
+                return Ok(LogicalExpr::Var(b.var()));
+            }
+        }
+        let e = self.scalar(ret)?;
+        let v = self.gen.fresh();
+        let prev = std::mem::replace(op, LogicalOp::EmptyTupleSource);
+        *op = LogicalOp::Assign {
+            var: v,
+            expr: e,
+            input: Box::new(prev),
+        };
+        Ok(LogicalExpr::Var(v))
+    }
+
+    /// `return count(...)` — the two paper forms:
+    /// * Q1: `count($x("title"))` over a grouped sequence → `ASSIGN treat`
+    ///   + scalar `count` (Fig. 9), which the group-by rules then convert;
+    /// * Q1b: `count(for $j in $x return $j("title"))` → a SUBPLAN with an
+    ///   incremental AGGREGATE (Fig. 11) straight from the translator.
+    fn translate_return_aggregate(
+        &mut self,
+        func: Function,
+        arg: &Expr,
+        op: &mut LogicalOp,
+    ) -> Result<LogicalExpr> {
+        // Q1b shape: aggregate over a FLWOR iterating a grouped sequence.
+        if let Expr::Flwor { clauses, ret } = arg {
+            if let [Clause::For {
+                var: ivar,
+                expr: Expr::VarRef(sname),
+            }] = clauses.as_slice()
+            {
+                if let Some(Binding::Sequence(sv)) = self.scope.get(sname).copied() {
+                    let j = self.gen.fresh();
+                    let saved = self.scope.insert(ivar.clone(), Binding::Item(j));
+                    let inner = self.scalar(ret)?;
+                    match saved {
+                        Some(b) => {
+                            self.scope.insert(ivar.clone(), b);
+                        }
+                        None => {
+                            self.scope.remove(ivar);
+                        }
+                    }
+                    let c = self.gen.fresh();
+                    let nested = LogicalOp::Aggregate {
+                        var: c,
+                        func: AggFunc::from_scalar(func).expect("aggregate function"),
+                        arg: inner,
+                        input: Box::new(LogicalOp::Unnest {
+                            var: j,
+                            expr: LogicalExpr::Call(Function::Iterate, vec![LogicalExpr::Var(sv)]),
+                            input: Box::new(LogicalOp::NestedTupleSource),
+                        }),
+                    };
+                    let prev = std::mem::replace(op, LogicalOp::EmptyTupleSource);
+                    *op = LogicalOp::Subplan {
+                        nested: Box::new(nested),
+                        input: Box::new(prev),
+                    };
+                    return Ok(LogicalExpr::Var(c));
+                }
+            }
+            return Err(ParseError::new(0, "unsupported FLWOR inside aggregate"));
+        }
+
+        // Q1 shape: scalar aggregate over an expression referencing a
+        // grouped sequence — insert the `treat` scaffolding of Fig. 9.
+        let seq_names: Vec<String> = self
+            .scope
+            .iter()
+            .filter(|(_, b)| matches!(b, Binding::Sequence(_)))
+            .map(|(n, _)| n.clone())
+            .collect();
+        let mut treat_subs: Vec<(String, Binding, VarId)> = Vec::new();
+        for name in &seq_names {
+            if expr_uses_var(arg, name) {
+                let Binding::Sequence(sv) = self.scope[name] else {
+                    unreachable!()
+                };
+                let t = self.gen.fresh();
+                let prev = std::mem::replace(op, LogicalOp::EmptyTupleSource);
+                *op = LogicalOp::Assign {
+                    var: t,
+                    expr: LogicalExpr::Call(Function::TreatItem, vec![LogicalExpr::Var(sv)]),
+                    input: Box::new(prev),
+                };
+                treat_subs.push((name.clone(), Binding::Sequence(sv), t));
+                self.scope.insert(name.clone(), Binding::Item(t));
+            }
+        }
+        let inner = self.scalar(arg)?;
+        for (name, orig, _) in treat_subs {
+            self.scope.insert(name, orig);
+        }
+        let c = self.gen.fresh();
+        let prev = std::mem::replace(op, LogicalOp::EmptyTupleSource);
+        *op = LogicalOp::Assign {
+            var: c,
+            expr: LogicalExpr::Call(func, vec![inner]),
+            input: Box::new(prev),
+        };
+        Ok(LogicalExpr::Var(c))
+    }
+
+    // ------------------------------------------------------ sequence bind
+
+    /// Build a chain binding one item of `expr`'s sequence per tuple.
+    fn bind_sequence(&mut self, expr: &Expr, input: LogicalOp) -> Result<(LogicalOp, VarId)> {
+        match expr {
+            Expr::VarRef(name) => {
+                let b = self
+                    .scope
+                    .get(name)
+                    .copied()
+                    .ok_or_else(|| ParseError::new(0, format!("unbound variable ${name}")))?;
+                let u = self.gen.fresh();
+                let op = LogicalOp::Unnest {
+                    var: u,
+                    expr: LogicalExpr::Call(Function::Iterate, vec![LogicalExpr::Var(b.var())]),
+                    input: Box::new(input),
+                };
+                Ok((op, u))
+            }
+            Expr::Flwor { clauses, ret } => {
+                let (chain, out) = self.flwor_stream(clauses, ret, input)?;
+                let u = self.gen.fresh();
+                let op = LogicalOp::Unnest {
+                    var: u,
+                    expr: LogicalExpr::Call(Function::Iterate, vec![out]),
+                    input: Box::new(chain),
+                };
+                Ok((op, u))
+            }
+            _ if is_pathlike(expr) => self.translate_path(expr, input),
+            other => {
+                let e = self.scalar(other)?;
+                let u = self.gen.fresh();
+                let op = LogicalOp::Unnest {
+                    var: u,
+                    expr: LogicalExpr::Call(Function::Iterate, vec![e]),
+                    input: Box::new(input),
+                };
+                Ok((op, u))
+            }
+        }
+    }
+
+    /// Translate a path spine (`collection(...)("a")()("b")...`) into the
+    /// naive chain of Fig. 5: ASSIGN collection, UNNEST iterate, merged
+    /// `value` ASSIGNs, and ASSIGN keys-or-members + UNNEST iterate per
+    /// `()` step.
+    fn translate_path(&mut self, expr: &Expr, input: LogicalOp) -> Result<(LogicalOp, VarId)> {
+        // Decompose the spine.
+        let mut steps = Vec::new();
+        let mut base = expr;
+        loop {
+            match base {
+                Expr::PathValue { base: b, arg } => {
+                    steps.push(Some(arg.as_ref()));
+                    base = b;
+                }
+                Expr::PathKom { base: b } => {
+                    steps.push(None);
+                    base = b;
+                }
+                _ => break,
+            }
+        }
+        steps.reverse();
+
+        let mut op = input;
+        // Translate the base.
+        let mut cur: LogicalExpr = match base {
+            Expr::FnCall { name, args } if name == "collection" => {
+                let [Expr::Literal(Item::String(path))] = args.as_slice() else {
+                    return Err(ParseError::new(0, "collection() takes one string literal"));
+                };
+                let wrapped = promote_data(LogicalExpr::Const(Item::String(path.clone())));
+                let a = self.gen.fresh();
+                op = LogicalOp::Assign {
+                    var: a,
+                    expr: LogicalExpr::Call(Function::Collection, vec![wrapped]),
+                    input: Box::new(op),
+                };
+                let u = self.gen.fresh();
+                op = LogicalOp::Unnest {
+                    var: u,
+                    expr: LogicalExpr::Call(Function::Iterate, vec![LogicalExpr::Var(a)]),
+                    input: Box::new(op),
+                };
+                LogicalExpr::Var(u)
+            }
+            Expr::FnCall { name, args } if name == "json-doc" => {
+                let [arg] = args.as_slice() else {
+                    return Err(ParseError::new(0, "json-doc() takes one argument"));
+                };
+                let wrapped = promote_data(self.scalar(arg)?);
+                let a = self.gen.fresh();
+                op = LogicalOp::Assign {
+                    var: a,
+                    expr: LogicalExpr::Call(Function::JsonDoc, vec![wrapped]),
+                    input: Box::new(op),
+                };
+                LogicalExpr::Var(a)
+            }
+            other => self.scalar(other)?,
+        };
+
+        // Apply the steps.
+        for step in steps {
+            match step {
+                Some(arg) => {
+                    cur = LogicalExpr::Call(Function::Value, vec![cur, self.scalar(arg)?]);
+                }
+                None => {
+                    // Flush a pending value chain into an ASSIGN so the
+                    // keys-or-members applies to a variable (Fig. 5).
+                    if !matches!(cur, LogicalExpr::Var(_)) {
+                        let v = self.gen.fresh();
+                        op = LogicalOp::Assign {
+                            var: v,
+                            expr: cur,
+                            input: Box::new(op),
+                        };
+                        cur = LogicalExpr::Var(v);
+                    }
+                    let s = self.gen.fresh();
+                    op = LogicalOp::Assign {
+                        var: s,
+                        expr: LogicalExpr::Call(Function::KeysOrMembers, vec![cur]),
+                        input: Box::new(op),
+                    };
+                    let i = self.gen.fresh();
+                    op = LogicalOp::Unnest {
+                        var: i,
+                        expr: LogicalExpr::Call(Function::Iterate, vec![LogicalExpr::Var(s)]),
+                        input: Box::new(op),
+                    };
+                    cur = LogicalExpr::Var(i);
+                }
+            }
+        }
+
+        // A trailing value chain binds through UNNEST iterate so that
+        // empty sequences (missing keys) are skipped per XQuery `for`
+        // semantics.
+        match cur {
+            LogicalExpr::Var(v) => Ok((op, v)),
+            chain => {
+                let u = self.gen.fresh();
+                op = LogicalOp::Unnest {
+                    var: u,
+                    expr: LogicalExpr::Call(Function::Iterate, vec![chain]),
+                    input: Box::new(op),
+                };
+                Ok((op, u))
+            }
+        }
+    }
+
+    // -------------------------------------------------------------- scalar
+
+    fn scalar(&mut self, expr: &Expr) -> Result<LogicalExpr> {
+        self.scalar_inner(expr, None)
+    }
+
+    /// Scalar translation replacing the pointer-identical `target` subtree
+    /// with a variable reference (used for `avg(FLWOR) div 10`).
+    fn scalar_replacing(&mut self, expr: &Expr, target: &Expr, var: VarId) -> Result<LogicalExpr> {
+        self.scalar_inner(expr, Some((target, var)))
+    }
+
+    fn scalar_inner(
+        &mut self,
+        expr: &Expr,
+        replace: Option<(&Expr, VarId)>,
+    ) -> Result<LogicalExpr> {
+        if let Some((target, var)) = replace {
+            if std::ptr::eq(expr, target) {
+                return Ok(LogicalExpr::Var(var));
+            }
+        }
+        match expr {
+            Expr::Literal(item) => Ok(LogicalExpr::Const(item.clone())),
+            Expr::VarRef(name) => self
+                .scope
+                .get(name)
+                .map(|b| LogicalExpr::Var(b.var()))
+                .ok_or_else(|| ParseError::new(0, format!("unbound variable ${name}"))),
+            Expr::PathValue { base, arg } => Ok(LogicalExpr::Call(
+                Function::Value,
+                vec![
+                    self.scalar_inner(base, replace)?,
+                    self.scalar_inner(arg, replace)?,
+                ],
+            )),
+            Expr::PathKom { base } => Ok(LogicalExpr::Call(
+                Function::KeysOrMembers,
+                vec![self.scalar_inner(base, replace)?],
+            )),
+            Expr::Neg(inner) => Ok(LogicalExpr::Call(
+                Function::Sub,
+                vec![
+                    LogicalExpr::Const(Item::int(0)),
+                    self.scalar_inner(inner, replace)?,
+                ],
+            )),
+            Expr::Binary { op, lhs, rhs } => {
+                let f = match op {
+                    BinOp::Or => Function::Or,
+                    BinOp::And => Function::And,
+                    BinOp::Eq => Function::Eq,
+                    BinOp::Ne => Function::Ne,
+                    BinOp::Lt => Function::Lt,
+                    BinOp::Le => Function::Le,
+                    BinOp::Gt => Function::Gt,
+                    BinOp::Ge => Function::Ge,
+                    BinOp::Add => Function::Add,
+                    BinOp::Sub => Function::Sub,
+                    BinOp::Mul => Function::Mul,
+                    BinOp::Div => Function::Div,
+                    BinOp::IDiv => Function::IDiv,
+                };
+                Ok(LogicalExpr::Call(
+                    f,
+                    vec![
+                        self.scalar_inner(lhs, replace)?,
+                        self.scalar_inner(rhs, replace)?,
+                    ],
+                ))
+            }
+            Expr::FnCall { name, args } => {
+                let f = match name.as_str() {
+                    "data" => Function::Data,
+                    "dateTime" => Function::DateTime,
+                    "year-from-dateTime" => Function::YearFromDateTime,
+                    "month-from-dateTime" => Function::MonthFromDateTime,
+                    "day-from-dateTime" => Function::DayFromDateTime,
+                    "collection" => Function::Collection,
+                    "json-doc" => Function::JsonDoc,
+                    "not" => Function::Not,
+                    other => match aggregate_function(other) {
+                        Some(agg) => {
+                            if args.iter().any(|a| matches!(a, Expr::Flwor { .. })) {
+                                return Err(ParseError::new(
+                                    0,
+                                    "aggregate over FLWOR is only supported in return \
+                                     position or at the top level",
+                                ));
+                            }
+                            agg
+                        }
+                        None => {
+                            return Err(ParseError::new(0, format!("unknown function {other}()")))
+                        }
+                    },
+                };
+                let mut targs = Vec::with_capacity(args.len());
+                for a in args {
+                    targs.push(self.scalar_inner(a, replace)?);
+                }
+                Ok(LogicalExpr::Call(f, targs))
+            }
+            Expr::Flwor { .. } => Err(ParseError::new(0, "FLWOR not supported in scalar context")),
+        }
+    }
+}
+
+/// `promote(data(x))` — the coercion scaffolding of Fig. 3.
+fn promote_data(inner: LogicalExpr) -> LogicalExpr {
+    LogicalExpr::Call(
+        Function::Promote,
+        vec![LogicalExpr::Call(Function::Data, vec![inner])],
+    )
+}
+
+/// Is this a navigation spine rooted at a data-access call?
+fn is_pathlike(expr: &Expr) -> bool {
+    match expr {
+        Expr::PathValue { base, .. } | Expr::PathKom { base } => is_pathlike(base),
+        Expr::FnCall { name, .. } => name == "collection" || name == "json-doc",
+        _ => false,
+    }
+}
+
+/// Does the expression avoid all in-scope variables (safe as the
+/// independent side of a join)?
+fn is_independent(expr: &Expr, scope: &HashMap<String, Binding>) -> bool {
+    match expr {
+        Expr::VarRef(name) => !scope.contains_key(name),
+        Expr::Literal(_) => true,
+        Expr::PathValue { base, arg } => is_independent(base, scope) && is_independent(arg, scope),
+        Expr::PathKom { base } => is_independent(base, scope),
+        Expr::Neg(e) => is_independent(e, scope),
+        Expr::Binary { lhs, rhs, .. } => is_independent(lhs, scope) && is_independent(rhs, scope),
+        Expr::FnCall { args, .. } => args.iter().all(|a| is_independent(a, scope)),
+        Expr::Flwor { .. } => false,
+    }
+}
+
+/// Does the AST reference `$name`?
+fn expr_uses_var(expr: &Expr, name: &str) -> bool {
+    match expr {
+        Expr::VarRef(n) => n == name,
+        Expr::Literal(_) => false,
+        Expr::PathValue { base, arg } => expr_uses_var(base, name) || expr_uses_var(arg, name),
+        Expr::PathKom { base } => expr_uses_var(base, name),
+        Expr::Neg(e) => expr_uses_var(e, name),
+        Expr::Binary { lhs, rhs, .. } => expr_uses_var(lhs, name) || expr_uses_var(rhs, name),
+        Expr::FnCall { args, .. } => args.iter().any(|a| expr_uses_var(a, name)),
+        Expr::Flwor { clauses, ret } => {
+            expr_uses_var(ret, name)
+                || clauses.iter().any(|c| match c {
+                    Clause::For { expr, .. } | Clause::Let { expr, .. } => {
+                        expr_uses_var(expr, name)
+                    }
+                    Clause::Where(e) => expr_uses_var(e, name),
+                    Clause::GroupBy { keys } => keys.iter().any(|(_, e)| expr_uses_var(e, name)),
+                    Clause::OrderBy { keys } => keys.iter().any(|(e, _)| expr_uses_var(e, name)),
+                })
+        }
+    }
+}
+
+/// Find an aggregate call whose single argument is a FLWOR.
+fn find_agg_over_flwor(expr: &Expr) -> Option<&Expr> {
+    match expr {
+        Expr::FnCall { name, args } => {
+            if aggregate_function(name).is_some()
+                && args.len() == 1
+                && matches!(args[0], Expr::Flwor { .. })
+            {
+                return Some(expr);
+            }
+            args.iter().find_map(find_agg_over_flwor)
+        }
+        Expr::PathValue { base, arg } => {
+            find_agg_over_flwor(base).or_else(|| find_agg_over_flwor(arg))
+        }
+        Expr::PathKom { base } => find_agg_over_flwor(base),
+        Expr::Neg(e) => find_agg_over_flwor(e),
+        Expr::Binary { lhs, rhs, .. } => {
+            find_agg_over_flwor(lhs).or_else(|| find_agg_over_flwor(rhs))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn plan(q: &str) -> LogicalPlan {
+        translate(&parse(q).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn bookstore_doc_query_matches_fig3() {
+        let p = plan(r#"json-doc("books.json")("bookstore")("book")()"#);
+        // DISTRIBUTE <- UNNEST iterate <- ASSIGN k-o-m <- ASSIGN value* <-
+        // ASSIGN json-doc <- ETS
+        assert_eq!(
+            p.shape(),
+            vec![
+                "distribute",
+                "unnest",
+                "assign",
+                "assign",
+                "assign",
+                "empty-tuple-source"
+            ]
+        );
+        let t = p.explain();
+        assert!(t.contains("promote(data("), "{t}");
+        assert!(t.contains("keys-or-members"), "{t}");
+    }
+
+    #[test]
+    fn collection_query_matches_fig5() {
+        let p = plan(r#"collection("/books")("bookstore")("book")()"#);
+        assert_eq!(
+            p.shape(),
+            vec![
+                "distribute",
+                "unnest", // iterate over k-o-m seq
+                "assign", // k-o-m
+                "assign", // merged value chain
+                "unnest", // iterate over collection
+                "assign", // collection
+                "empty-tuple-source"
+            ]
+        );
+    }
+
+    #[test]
+    fn q1_matches_fig9() {
+        let p = plan(
+            r#"for $r in collection("/sensors")("root")()("results")()
+               where $r("dataType") eq "TMIN"
+               group by $date := $r("date")
+               return count($r("station"))"#,
+        );
+        let t = p.explain();
+        assert!(t.contains("group-by"), "{t}");
+        assert!(t.contains("sequence("), "{t}");
+        assert!(t.contains("treat("), "{t}");
+        assert!(t.contains("count(value("), "{t}");
+        assert!(t.contains("select eq(value("), "{t}");
+    }
+
+    #[test]
+    fn q1b_builds_subplan_directly() {
+        let p = plan(
+            r#"for $r in collection("/s")("root")()("results")()
+               group by $date := $r("date")
+               return count(for $i in $r return $i("station"))"#,
+        );
+        let t = p.explain();
+        assert!(t.contains("subplan"), "{t}");
+        assert!(!t.contains("treat("), "{t}");
+        assert!(t.contains("unnest"), "{t}");
+    }
+
+    #[test]
+    fn q2_builds_join_and_global_aggregate() {
+        let p = plan(
+            r#"avg(
+                 for $rmin in collection("/s")("root")()("results")()
+                 for $rmax in collection("/s")("root")()("results")()
+                 where $rmin("station") eq $rmax("station")
+                   and $rmin("date") eq $rmax("date")
+                   and $rmin("dataType") eq "TMIN"
+                   and $rmax("dataType") eq "TMAX"
+                 return $rmax("value") - $rmin("value")
+               ) div 10"#,
+        );
+        let t = p.explain();
+        assert!(t.contains("join"), "{t}");
+        assert!(t.contains("aggregate"), "{t}");
+        assert!(t.contains("avg("), "{t}");
+        assert!(t.contains("divide($"), "{t}");
+        assert!(t.contains("select"), "{t}");
+    }
+
+    #[test]
+    fn let_and_where_translate() {
+        let p = plan(
+            r#"for $r in collection("/s")("root")()("results")()
+               let $dt := dateTime(data($r("date")))
+               where year-from-dateTime($dt) ge 2003
+               return $r"#,
+        );
+        let t = p.explain();
+        assert!(t.contains("dateTime(data(value("), "{t}");
+        assert!(t.contains("select ge(year-from-dateTime("), "{t}");
+        // `return $r` adds no assign: distribute references $r's var.
+        assert!(t.starts_with("distribute [$"), "{t}");
+    }
+
+    #[test]
+    fn trailing_value_step_binds_via_unnest() {
+        // Q0b's shape: path ends in ("date").
+        let p = plan(r#"for $d in collection("/s")("root")()("results")()("date") return $d"#);
+        let t = p.explain();
+        assert!(t.contains("unnest $"), "{t}");
+        assert!(t.contains(r#"iterate(value($"#), "{t}");
+    }
+
+    #[test]
+    fn unbound_variable_is_an_error() {
+        let e = translate(&parse("for $x in $nope return $x").unwrap()).unwrap_err();
+        assert!(e.msg.contains("unbound"), "{e}");
+    }
+
+    #[test]
+    fn group_by_with_no_grouped_variable_errors() {
+        // Two grouped variables: unsupported (documented).
+        let q = r#"for $a in collection("/s")("root")()
+                   for $b in $a("results")()
+                   group by $k := $b("date")
+                   return count($b("station"))"#;
+        let e = translate(&parse(q).unwrap()).unwrap_err();
+        assert!(e.msg.contains("group by"), "{e}");
+    }
+}

@@ -1,0 +1,89 @@
+//! Parser robustness and AST/plan invariants.
+
+use jsoniq::parser::parse;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The parser must never panic, whatever bytes arrive.
+    #[test]
+    fn parser_never_panics_on_ascii(src in "[ -~]{0,200}") {
+        let _ = parse(&src);
+    }
+
+    #[test]
+    fn parser_never_panics_on_unicode(src in "\\PC{0,100}") {
+        let _ = parse(&src);
+    }
+
+    /// Structured generator: random-but-valid FLWOR queries must parse
+    /// and translate without panicking (translation may reject some —
+    /// e.g. aggregates in odd positions — but must do so with an error).
+    #[test]
+    fn valid_queries_parse_and_translate(
+        coll in "[a-z]{1,8}",
+        key1 in "[a-z]{1,6}",
+        key2 in "[a-z]{1,6}",
+        lit in 0i64..1000,
+        with_where in any::<bool>(),
+        with_group in any::<bool>(),
+        with_order in any::<bool>(),
+    ) {
+        let mut q = format!(
+            "for $x in collection(\"/{coll}\")(\"{key1}\")()(\"{key2}\")()\n"
+        );
+        if with_where {
+            q.push_str(&format!("where $x(\"{key1}\") eq {lit}\n"));
+        }
+        if with_group {
+            q.push_str(&format!("group by $g := $x(\"{key2}\")\n"));
+        } else if with_order {
+            q.push_str(&format!("order by $x(\"{key2}\") descending\n"));
+        }
+        if with_group {
+            q.push_str("return count($x(\"v\"))");
+        } else {
+            q.push_str("return $x");
+        }
+        let ast = parse(&q).expect("generated query must parse");
+        let plan = jsoniq::translate::translate(&ast).expect("generated query must translate");
+        // The naive plan always starts from a distribute over a chain
+        // rooted at the empty tuple source.
+        let shape = plan.shape();
+        prop_assert_eq!(shape.first().copied(), Some("distribute"));
+        prop_assert_eq!(shape.last().copied(), Some("empty-tuple-source"));
+    }
+
+    /// Path expressions of arbitrary depth parse into the right number of
+    /// steps and translate cleanly.
+    #[test]
+    fn deep_paths_translate(keys in prop::collection::vec("[a-z]{1,5}", 1..8)) {
+        let mut q = String::from("json-doc(\"f.json\")");
+        for k in &keys {
+            q.push_str(&format!("(\"{k}\")"));
+        }
+        let ast = parse(&q).expect("parses");
+        let plan = jsoniq::translate::translate(&ast).expect("translates");
+        let text = plan.explain();
+        for k in &keys {
+            prop_assert!(text.contains(&format!("\"{k}\"")), "{text}");
+        }
+    }
+}
+
+#[test]
+fn error_offsets_point_into_the_source() {
+    for src in [
+        "for $x retur 1",
+        "1 +++ 2",
+        "count(",
+        "$x(\"unclosed",
+        "for $x in",
+    ] {
+        match parse(src) {
+            Err(e) => assert!(e.offset <= src.len(), "offset {} beyond {src:?}", e.offset),
+            Ok(_) => panic!("{src:?} should not parse"),
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! Incremental aggregators and their two-step (partial/merge) forms.
+//!
+//! Each aggregator evaluates an argument expression per input tuple and
+//! folds the resulting items into its state — the post-group-by-rules
+//! execution model ("incrementally calculate ... as each item of the
+//! sequence is fetched", §4.3). The `Merge*` forms implement the second
+//! step of Algebricks' two-step aggregation: partials computed per
+//! partition, merged at the destination partition.
+
+use crate::error::EngineError;
+use crate::rtexpr::RtExpr;
+use algebra::expr::AggFunc;
+use dataflow::ops::eval::{Aggregator, AggregatorFactory};
+use dataflow::{DataflowError, TupleRef};
+use jdm::binary::write_item;
+use jdm::{Item, Number};
+use std::cmp::Ordering;
+
+/// Factory producing one aggregator per group / partition.
+pub struct AggFactory {
+    pub func: AggFunc,
+    pub arg: RtExpr,
+}
+
+impl AggregatorFactory for AggFactory {
+    fn create(&self) -> Box<dyn Aggregator> {
+        match self.func {
+            AggFunc::Count => Box::new(CountAgg {
+                arg: self.arg.clone(),
+                n: 0,
+            }),
+            AggFunc::MergeCount | AggFunc::MergeSum => Box::new(SumAgg {
+                arg: self.arg.clone(),
+                total: Number::Int(0),
+                any: false,
+            }),
+            AggFunc::Sum => Box::new(SumAgg {
+                arg: self.arg.clone(),
+                total: Number::Int(0),
+                any: false,
+            }),
+            AggFunc::Avg => Box::new(AvgAgg {
+                arg: self.arg.clone(),
+                total: Number::Int(0),
+                n: 0,
+                partial: false,
+            }),
+            AggFunc::PartialAvg => Box::new(AvgAgg {
+                arg: self.arg.clone(),
+                total: Number::Int(0),
+                n: 0,
+                partial: true,
+            }),
+            AggFunc::MergeAvg => Box::new(MergeAvgAgg {
+                arg: self.arg.clone(),
+                total: Number::Int(0),
+                n: 0,
+            }),
+            AggFunc::Min | AggFunc::MergeMin => Box::new(MinMaxAgg {
+                arg: self.arg.clone(),
+                best: None,
+                want_min: true,
+            }),
+            AggFunc::Max | AggFunc::MergeMax => Box::new(MinMaxAgg {
+                arg: self.arg.clone(),
+                best: None,
+                want_min: false,
+            }),
+            AggFunc::Sequence => Box::new(SeqAgg {
+                arg: self.arg.clone(),
+                items: Vec::new(),
+            }),
+        }
+    }
+}
+
+fn eval_arg(arg: &RtExpr, t: &TupleRef<'_>) -> Result<Item, DataflowError> {
+    arg.eval(t)
+        .map_err(|e: EngineError| DataflowError::Eval(e.to_string()))
+}
+
+/// `count`: counts items (a per-tuple empty sequence contributes 0).
+struct CountAgg {
+    arg: RtExpr,
+    n: i64,
+}
+
+impl Aggregator for CountAgg {
+    fn step(&mut self, t: &TupleRef<'_>) -> Result<(), DataflowError> {
+        let v = eval_arg(&self.arg, t)?;
+        self.n += v.sequence_len() as i64;
+        Ok(())
+    }
+
+    fn finish(&mut self, out: &mut Vec<u8>) -> Result<(), DataflowError> {
+        write_item(&Item::int(self.n), out);
+        Ok(())
+    }
+}
+
+/// `sum` — also serves as `merge-count` / `merge-sum` (merging partial
+/// counts *is* summing them).
+struct SumAgg {
+    arg: RtExpr,
+    total: Number,
+    any: bool,
+}
+
+impl Aggregator for SumAgg {
+    fn step(&mut self, t: &TupleRef<'_>) -> Result<(), DataflowError> {
+        let v = eval_arg(&self.arg, t)?;
+        for it in v.iter_sequence() {
+            let n = it.as_number().ok_or_else(|| {
+                DataflowError::Eval(format!("sum aggregate over non-number {it}"))
+            })?;
+            self.total = self.total.add(n);
+            self.any = true;
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self, out: &mut Vec<u8>) -> Result<(), DataflowError> {
+        write_item(&Item::Number(self.total), out);
+        Ok(())
+    }
+}
+
+/// `avg`, or its two-step local form emitting an `{"sum","count"}`
+/// partial object.
+struct AvgAgg {
+    arg: RtExpr,
+    total: Number,
+    n: i64,
+    partial: bool,
+}
+
+impl Aggregator for AvgAgg {
+    fn step(&mut self, t: &TupleRef<'_>) -> Result<(), DataflowError> {
+        let v = eval_arg(&self.arg, t)?;
+        for it in v.iter_sequence() {
+            let x = it.as_number().ok_or_else(|| {
+                DataflowError::Eval(format!("avg aggregate over non-number {it}"))
+            })?;
+            self.total = self.total.add(x);
+            self.n += 1;
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self, out: &mut Vec<u8>) -> Result<(), DataflowError> {
+        let item = if self.partial {
+            Item::Object(vec![
+                ("sum".into(), Item::Number(self.total)),
+                ("count".into(), Item::int(self.n)),
+            ])
+        } else if self.n == 0 {
+            Item::empty()
+        } else {
+            Item::Number(self.total.div(Number::Int(self.n)))
+        };
+        write_item(&item, out);
+        Ok(())
+    }
+}
+
+/// Merge `{"sum","count"}` partials into the final average.
+struct MergeAvgAgg {
+    arg: RtExpr,
+    total: Number,
+    n: i64,
+}
+
+impl Aggregator for MergeAvgAgg {
+    fn step(&mut self, t: &TupleRef<'_>) -> Result<(), DataflowError> {
+        let v = eval_arg(&self.arg, t)?;
+        for it in v.iter_sequence() {
+            let sum = it
+                .get_key("sum")
+                .and_then(Item::as_number)
+                .ok_or_else(|| DataflowError::Eval("avg partial missing sum".into()))?;
+            let count = it
+                .get_key("count")
+                .and_then(Item::as_number)
+                .and_then(Number::as_i64)
+                .ok_or_else(|| DataflowError::Eval("avg partial missing count".into()))?;
+            self.total = self.total.add(sum);
+            self.n += count;
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self, out: &mut Vec<u8>) -> Result<(), DataflowError> {
+        let item = if self.n == 0 {
+            Item::empty()
+        } else {
+            Item::Number(self.total.div(Number::Int(self.n)))
+        };
+        write_item(&item, out);
+        Ok(())
+    }
+}
+
+/// `min` / `max` (self-merging: the merge form is the same fold).
+struct MinMaxAgg {
+    arg: RtExpr,
+    best: Option<Item>,
+    want_min: bool,
+}
+
+impl Aggregator for MinMaxAgg {
+    fn step(&mut self, t: &TupleRef<'_>) -> Result<(), DataflowError> {
+        let v = eval_arg(&self.arg, t)?;
+        for it in v.iter_sequence() {
+            let better = match &self.best {
+                None => true,
+                Some(b) => {
+                    let ord = it.total_cmp(b);
+                    (self.want_min && ord == Ordering::Less)
+                        || (!self.want_min && ord == Ordering::Greater)
+                }
+            };
+            if better {
+                self.best = Some(it.clone());
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self, out: &mut Vec<u8>) -> Result<(), DataflowError> {
+        write_item(
+            self.best.as_ref().unwrap_or(&Item::Sequence(Vec::new())),
+            out,
+        );
+        Ok(())
+    }
+}
+
+/// The pre-rewrite `AGGREGATE sequence`: buffers every item. Reports its
+/// state size so the memory tracker sees what the group-by rules remove.
+struct SeqAgg {
+    arg: RtExpr,
+    items: Vec<Item>,
+}
+
+impl Aggregator for SeqAgg {
+    fn step(&mut self, t: &TupleRef<'_>) -> Result<(), DataflowError> {
+        let v = eval_arg(&self.arg, t)?;
+        for it in v.iter_sequence() {
+            self.items.push(it.clone());
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self, out: &mut Vec<u8>) -> Result<(), DataflowError> {
+        write_item(&Item::Sequence(std::mem::take(&mut self.items)), out);
+        Ok(())
+    }
+
+    fn state_size(&self) -> usize {
+        self.items.iter().map(Item::heap_size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataflow::frame::frames_from_rows;
+    use jdm::binary::{to_bytes, ItemRef};
+
+    fn run(func: AggFunc, arg: RtExpr, rows: Vec<Vec<Item>>) -> Item {
+        let factory = AggFactory { func, arg };
+        let mut agg = factory.create();
+        let encoded: Vec<Vec<Vec<u8>>> = rows
+            .iter()
+            .map(|r| r.iter().map(to_bytes).collect())
+            .collect();
+        for f in frames_from_rows(&encoded, 4096) {
+            for t in f.tuples() {
+                agg.step(&t).unwrap();
+            }
+        }
+        let mut out = Vec::new();
+        agg.finish(&mut out).unwrap();
+        ItemRef::new(&out).unwrap().to_item().unwrap()
+    }
+
+    fn ints(vals: &[i64]) -> Vec<Vec<Item>> {
+        vals.iter().map(|&v| vec![Item::int(v)]).collect()
+    }
+
+    #[test]
+    fn count_counts_items_not_tuples() {
+        assert_eq!(
+            run(AggFunc::Count, RtExpr::Field(0), ints(&[1, 2, 3])),
+            Item::int(3)
+        );
+        // Empty sequences contribute nothing.
+        let rows = vec![vec![Item::empty()], vec![Item::int(1)], vec![Item::empty()]];
+        assert_eq!(run(AggFunc::Count, RtExpr::Field(0), rows), Item::int(1));
+        // A sequence of 2 contributes 2.
+        let rows = vec![vec![Item::seq([Item::int(1), Item::int(2)])]];
+        assert_eq!(run(AggFunc::Count, RtExpr::Field(0), rows), Item::int(2));
+    }
+
+    #[test]
+    fn sum_avg_min_max() {
+        assert_eq!(
+            run(AggFunc::Sum, RtExpr::Field(0), ints(&[5, 7, -2])),
+            Item::int(10)
+        );
+        assert_eq!(
+            run(AggFunc::Avg, RtExpr::Field(0), ints(&[2, 4])),
+            Item::double(3.0)
+        );
+        assert_eq!(
+            run(AggFunc::Min, RtExpr::Field(0), ints(&[5, -1, 3])),
+            Item::int(-1)
+        );
+        assert_eq!(
+            run(AggFunc::Max, RtExpr::Field(0), ints(&[5, -1, 3])),
+            Item::int(5)
+        );
+        assert!(run(AggFunc::Avg, RtExpr::Field(0), vec![]).is_empty_sequence());
+    }
+
+    #[test]
+    fn two_step_count_equals_single_step() {
+        // Partition the input, count locally, merge globally.
+        let all: Vec<i64> = (0..100).collect();
+        let single = run(AggFunc::Count, RtExpr::Field(0), ints(&all));
+
+        let mut partials = Vec::new();
+        for chunk in all.chunks(33) {
+            partials.push(vec![run(AggFunc::Count, RtExpr::Field(0), ints(chunk))]);
+        }
+        let merged = run(AggFunc::MergeCount, RtExpr::Field(0), partials);
+        assert_eq!(single, merged);
+    }
+
+    #[test]
+    fn two_step_avg_equals_single_step() {
+        let all: Vec<i64> = (1..=10).collect();
+        let single = run(AggFunc::Avg, RtExpr::Field(0), ints(&all));
+        let mut partials = Vec::new();
+        for chunk in all.chunks(3) {
+            partials.push(vec![run(
+                AggFunc::PartialAvg,
+                RtExpr::Field(0),
+                ints(chunk),
+            )]);
+        }
+        let merged = run(AggFunc::MergeAvg, RtExpr::Field(0), partials);
+        assert_eq!(single, merged);
+    }
+
+    #[test]
+    fn sequence_agg_buffers_everything() {
+        let got = run(AggFunc::Sequence, RtExpr::Field(0), ints(&[1, 2, 3]));
+        assert_eq!(got, Item::seq([Item::int(1), Item::int(2), Item::int(3)]));
+    }
+}

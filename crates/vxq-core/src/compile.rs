@@ -1,0 +1,1191 @@
+//! Physical planning: optimized logical plan → [`dataflow::JobSpec`].
+//!
+//! This is the part of Algebricks the paper calls the "physical plan
+//! optimizer": it fuses chains of ASSIGN/SELECT/UNNEST into stages,
+//! inserts exchange connectors at GROUP-BY / AGGREGATE / JOIN boundaries,
+//! applies **two-step aggregation** when enabled ("each partition can
+//! calculate locally the count function on its data; then a central node
+//! can compute the final result", §4.3), extracts hash-join keys from the
+//! join condition, and prunes dead columns between operators so naive
+//! plans don't carry materialized sequences in every tuple (Algebricks
+//! does the same).
+//!
+//! | logical shape | physical realization |
+//! |---|---|
+//! | `DATASCAN(project)` | partitioned projecting file scan |
+//! | `ASSIGN collection` (naive) | single-partition whole-collection scan |
+//! | `GROUP-BY + AGGREGATE sequence` | hash exchange + materializing group-by |
+//! | `GROUP-BY + incremental agg` | [local group-by +] hash exchange + group-by |
+//! | `AGGREGATE` | [local aggregate +] merge-to-one + aggregate |
+//! | `JOIN` | hash exchanges on extracted keys + hash join |
+
+use crate::aggs::AggFactory;
+use crate::error::{EngineError, Result};
+use crate::rtexpr::{RtExpr, EXTRA_FIELD};
+use crate::scan::{
+    resolve_collection, EmptyTupleSourceFactory, JsonDocScanFactory, ProjectedScanFactory,
+    WholeCollectionScanFactory,
+};
+use algebra::expr::{AggFunc, Function, LogicalExpr};
+use algebra::plan::{LogicalOp, LogicalPlan, VarGen, VarId};
+use dataflow::job::{
+    Connector, JobSpec, Parallelism, PipeFactory, Stage, StageId, StageInput, StageKind,
+    TwoInputFactory, TwoInputOp,
+};
+use dataflow::ops::eval::{ScalarEvaluator, ScanSourceFactory, UnnestEvaluator};
+use dataflow::ops::{
+    AggregateOp, AssignOp, BoxWriter, HashGroupByOp, HashJoinOp, MaterializingGroupByOp, ProjectOp,
+    SelectOp, UnnestOp,
+};
+use dataflow::{DataflowError, TaskContext, TupleRef};
+use jdm::binary::{write_item, ItemRef};
+use jdm::Item;
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Compiler inputs beyond the plan itself.
+#[derive(Debug, Clone)]
+pub struct CompileOptions {
+    /// Directory that collection paths resolve under.
+    pub data_root: PathBuf,
+    /// Node count (resolves per-node collection sub-directories for the
+    /// naive whole-collection scan).
+    pub nodes: usize,
+    /// Enable two-step (local/global) aggregation.
+    pub two_step_aggregation: bool,
+}
+
+/// Compile an optimized logical plan into an executable job.
+pub fn compile_plan(plan: &LogicalPlan, opts: &CompileOptions) -> Result<JobSpec> {
+    let mut job = JobSpec::new();
+    let mut c = Compiler {
+        opts,
+        gen: VarGen::above(&plan.root),
+    };
+    let pipeline = c.compile_op(&plan.root, &HashSet::new(), &mut job)?;
+    seal(pipeline, &mut job);
+    job.validate().map_err(EngineError::Execute)?;
+    Ok(job)
+}
+
+// ---------------------------------------------------------------- steps
+
+/// One fused operator inside a stage chain.
+#[derive(Clone)]
+enum StepSpec {
+    Assign(RtExpr),
+    Select(RtExpr),
+    /// `kind` distinguishes `iterate` (sequence fan-out) from
+    /// `keys-or-members` over the evaluated argument.
+    Unnest {
+        kind: UnnestKind,
+        arg: RtExpr,
+    },
+    /// Per-tuple nested aggregation (compiled SUBPLAN).
+    SubplanAgg {
+        func: AggFunc,
+        seq: RtExpr,
+        arg: RtExpr,
+    },
+    /// Stream aggregation (whole input → one tuple).
+    Aggregate {
+        func: AggFunc,
+        arg: RtExpr,
+    },
+    HashGroupBy {
+        key_fields: Vec<usize>,
+        func: AggFunc,
+        arg: RtExpr,
+    },
+    MatGroupBy {
+        key_fields: Vec<usize>,
+        seq_field: usize,
+    },
+    /// Materializing sort; keys are `(expr, ascending)`.
+    Sort {
+        keys: Vec<(RtExpr, bool)>,
+    },
+    Project(Vec<usize>),
+}
+
+#[derive(Clone, Copy)]
+enum UnnestKind {
+    Iterate,
+    KeysOrMembers,
+}
+
+/// Chain factory: builds the fused operators back-to-front.
+struct ChainFactory {
+    steps: Vec<StepSpec>,
+}
+
+impl PipeFactory for ChainFactory {
+    fn create(&self, ctx: &TaskContext, out: BoxWriter) -> dataflow::Result<BoxWriter> {
+        build_chain(&self.steps, ctx, out)
+    }
+}
+
+fn build_chain(
+    steps: &[StepSpec],
+    ctx: &TaskContext,
+    out: BoxWriter,
+) -> dataflow::Result<BoxWriter> {
+    let mut writer = out;
+    for step in steps.iter().rev() {
+        writer = match step.clone() {
+            StepSpec::Assign(expr) => Box::new(AssignOp::new(
+                Box::new(ExprEval(expr)),
+                ctx.frame_size,
+                writer,
+            )),
+            StepSpec::Select(cond) => Box::new(SelectOp::new(
+                Box::new(ExprEval(cond)),
+                ctx.frame_size,
+                writer,
+            )),
+            StepSpec::Unnest { kind, arg } => Box::new(UnnestOp::new(
+                Box::new(UnnestEval { kind, arg }),
+                ctx.frame_size,
+                writer,
+            )),
+            StepSpec::SubplanAgg { func, seq, arg } => Box::new(AssignOp::new(
+                Box::new(SubplanAggEval { func, seq, arg }),
+                ctx.frame_size,
+                writer,
+            )),
+            StepSpec::Aggregate { func, arg } => {
+                let factory = AggFactory { func, arg };
+                use dataflow::ops::eval::AggregatorFactory as _;
+                Box::new(AggregateOp::new(factory.create(), ctx.frame_size, writer))
+            }
+            StepSpec::HashGroupBy {
+                key_fields,
+                func,
+                arg,
+            } => Box::new(HashGroupByOp::new(
+                key_fields,
+                Arc::new(AggFactory { func, arg }),
+                ctx.mem.clone(),
+                ctx.frame_size,
+                writer,
+            )),
+            StepSpec::MatGroupBy {
+                key_fields,
+                seq_field,
+            } => Box::new(MaterializingGroupByOp::new(
+                key_fields,
+                seq_field,
+                ctx.mem.clone(),
+                ctx.frame_size,
+                writer,
+            )),
+            StepSpec::Sort { keys } => {
+                let evals: Vec<(Box<dyn ScalarEvaluator>, bool)> = keys
+                    .into_iter()
+                    .map(|(e, asc)| (Box::new(ExprEval(e)) as Box<dyn ScalarEvaluator>, asc))
+                    .collect();
+                Box::new(dataflow::ops::SortOp::new(
+                    evals,
+                    ctx.mem.clone(),
+                    ctx.frame_size,
+                    writer,
+                ))
+            }
+            StepSpec::Project(keep) => Box::new(ProjectOp::new(keep, ctx.frame_size, writer)),
+        };
+    }
+    Ok(writer)
+}
+
+// ----------------------------------------------------------- evaluators
+
+/// Scalar evaluator over a compiled expression.
+struct ExprEval(RtExpr);
+
+impl ScalarEvaluator for ExprEval {
+    fn eval(&mut self, tuple: &TupleRef<'_>, out: &mut Vec<u8>) -> dataflow::Result<()> {
+        let item = self
+            .0
+            .eval(tuple)
+            .map_err(|e| DataflowError::Eval(e.to_string()))?;
+        write_item(&item, out);
+        Ok(())
+    }
+}
+
+/// Unnesting evaluator: `iterate` or `keys-or-members` over an argument.
+struct UnnestEval {
+    kind: UnnestKind,
+    arg: RtExpr,
+}
+
+impl UnnestEvaluator for UnnestEval {
+    fn eval(
+        &mut self,
+        tuple: &TupleRef<'_>,
+        emit: &mut dyn FnMut(&[u8]) -> dataflow::Result<()>,
+    ) -> dataflow::Result<()> {
+        let base = self
+            .arg
+            .eval(tuple)
+            .map_err(|e| DataflowError::Eval(e.to_string()))?;
+        let mut buf = Vec::new();
+        match self.kind {
+            UnnestKind::Iterate => {
+                for it in base.iter_sequence() {
+                    buf.clear();
+                    write_item(it, &mut buf);
+                    emit(&buf)?;
+                }
+            }
+            UnnestKind::KeysOrMembers => {
+                let kom = crate::rtexpr::keys_or_members(&base);
+                for it in kom.iter_sequence() {
+                    buf.clear();
+                    write_item(it, &mut buf);
+                    emit(&buf)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Compiled SUBPLAN: fold an aggregate over the items of a sequence
+/// expression, evaluating `arg` once per item (bound to [`EXTRA_FIELD`]).
+struct SubplanAggEval {
+    func: AggFunc,
+    seq: RtExpr,
+    arg: RtExpr,
+}
+
+impl ScalarEvaluator for SubplanAggEval {
+    fn eval(&mut self, tuple: &TupleRef<'_>, out: &mut Vec<u8>) -> dataflow::Result<()> {
+        let seq = self
+            .seq
+            .eval(tuple)
+            .map_err(|e| DataflowError::Eval(e.to_string()))?;
+        let mut count = 0i64;
+        let mut sum = jdm::Number::Int(0);
+        let mut n = 0i64;
+        let mut best: Option<Item> = None;
+        let mut items: Vec<Item> = Vec::new();
+        for member in seq.iter_sequence() {
+            let v = self
+                .arg
+                .eval_with(tuple, Some(member))
+                .map_err(|e| DataflowError::Eval(e.to_string()))?;
+            for it in v.iter_sequence() {
+                count += 1;
+                match self.func {
+                    AggFunc::Sum | AggFunc::Avg => {
+                        let x = it.as_number().ok_or_else(|| {
+                            DataflowError::Eval(format!("aggregate over non-number {it}"))
+                        })?;
+                        sum = sum.add(x);
+                        n += 1;
+                    }
+                    AggFunc::Min | AggFunc::Max => {
+                        let better = match &best {
+                            None => true,
+                            Some(b) => {
+                                let ord = it.total_cmp(b);
+                                (self.func == AggFunc::Min && ord.is_lt())
+                                    || (self.func == AggFunc::Max && ord.is_gt())
+                            }
+                        };
+                        if better {
+                            best = Some(it.clone());
+                        }
+                    }
+                    AggFunc::Sequence => items.push(it.clone()),
+                    _ => {}
+                }
+            }
+        }
+        let result = match self.func {
+            AggFunc::Count => Item::int(count),
+            AggFunc::Sum => Item::Number(sum),
+            AggFunc::Avg => {
+                if n == 0 {
+                    Item::empty()
+                } else {
+                    Item::Number(sum.div(jdm::Number::Int(n)))
+                }
+            }
+            AggFunc::Min | AggFunc::Max => best.unwrap_or_else(Item::empty),
+            AggFunc::Sequence => Item::Sequence(items),
+            other => {
+                return Err(DataflowError::Eval(format!(
+                    "unsupported subplan aggregate {}",
+                    other.name()
+                )))
+            }
+        };
+        write_item(&result, out);
+        Ok(())
+    }
+}
+
+/// Join factory: hash join plus an optional residual filter.
+struct JoinChainFactory {
+    build_keys: Vec<usize>,
+    probe_keys: Vec<usize>,
+    residual: Option<RtExpr>,
+}
+
+impl TwoInputFactory for JoinChainFactory {
+    fn create(&self, ctx: &TaskContext, out: BoxWriter) -> dataflow::Result<Box<dyn TwoInputOp>> {
+        let out = match &self.residual {
+            Some(cond) => Box::new(SelectOp::new(
+                Box::new(ExprEval(cond.clone())),
+                ctx.frame_size,
+                out,
+            )) as BoxWriter,
+            None => out,
+        };
+        Ok(Box::new(HashJoinOp::new(
+            self.build_keys.clone(),
+            self.probe_keys.clone(),
+            ctx.mem.clone(),
+            ctx.frame_size,
+            out,
+        )))
+    }
+}
+
+// ------------------------------------------------------------- pipeline
+
+enum PipeInput {
+    Source(Arc<dyn ScanSourceFactory>),
+    Stage { from: StageId, connector: Connector },
+}
+
+struct Pipeline {
+    input: PipeInput,
+    steps: Vec<StepSpec>,
+    schema: Vec<VarId>,
+    parallelism: Parallelism,
+}
+
+fn seal(p: Pipeline, job: &mut JobSpec) -> StageId {
+    let chain = Arc::new(ChainFactory { steps: p.steps });
+    let kind = match p.input {
+        PipeInput::Source(scan) => StageKind::Source { scan, chain },
+        PipeInput::Stage { from, connector } => StageKind::Pipe {
+            input: StageInput { from, connector },
+            chain,
+        },
+    };
+    job.add(Stage {
+        kind,
+        parallelism: p.parallelism,
+    })
+}
+
+// ------------------------------------------------------------- compiler
+
+struct Compiler<'a> {
+    opts: &'a CompileOptions,
+    gen: VarGen,
+}
+
+/// Variables referenced by an expression.
+fn expr_vars(e: &LogicalExpr) -> Vec<VarId> {
+    let mut v = Vec::new();
+    e.collect_vars(&mut v);
+    v
+}
+
+/// Unwrap `promote(data(Const))` scaffolding down to a string constant.
+fn const_string(e: &LogicalExpr) -> Option<&str> {
+    match e {
+        LogicalExpr::Const(Item::String(s)) => Some(s),
+        LogicalExpr::Call(Function::Promote | Function::Data, args) if args.len() == 1 => {
+            const_string(&args[0])
+        }
+        _ => None,
+    }
+}
+
+impl<'a> Compiler<'a> {
+    fn field_of(schema: &[VarId], v: VarId) -> Result<usize> {
+        schema
+            .iter()
+            .position(|x| *x == v)
+            .ok_or_else(|| EngineError::Compile(format!("variable {v} not in schema {schema:?}")))
+    }
+
+    fn compile_expr(e: &LogicalExpr, schema: &[VarId], extra: Option<VarId>) -> Result<RtExpr> {
+        match e {
+            LogicalExpr::Var(v) => {
+                if extra == Some(*v) {
+                    Ok(RtExpr::Field(EXTRA_FIELD))
+                } else {
+                    Self::field_of(schema, *v).map(RtExpr::Field)
+                }
+            }
+            LogicalExpr::Const(item) => Ok(RtExpr::Const(item.clone())),
+            LogicalExpr::Call(f, args) => {
+                let mut cargs = Vec::with_capacity(args.len());
+                for a in args {
+                    cargs.push(Self::compile_expr(a, schema, extra)?);
+                }
+                Ok(RtExpr::Call(*f, cargs))
+            }
+        }
+    }
+
+    /// Drop dead columns: keep only `live` variables (plus everything when
+    /// `live` is empty, which only happens at the root).
+    fn prune(p: &mut Pipeline, live: &HashSet<VarId>) {
+        if live.is_empty() {
+            return;
+        }
+        let keep: Vec<usize> = (0..p.schema.len())
+            .filter(|&i| live.contains(&p.schema[i]))
+            .collect();
+        if keep.len() == p.schema.len() {
+            return;
+        }
+        p.schema = keep.iter().map(|&i| p.schema[i]).collect();
+        p.steps.push(StepSpec::Project(keep));
+    }
+
+    /// Compile an operator subtree. `live` is the set of variables any
+    /// operator *above* this one still needs.
+    fn compile_op(
+        &mut self,
+        op: &LogicalOp,
+        live: &HashSet<VarId>,
+        job: &mut JobSpec,
+    ) -> Result<Pipeline> {
+        match op {
+            LogicalOp::EmptyTupleSource => Ok(Pipeline {
+                input: PipeInput::Source(Arc::new(EmptyTupleSourceFactory)),
+                steps: Vec::new(),
+                schema: Vec::new(),
+                parallelism: Parallelism::One,
+            }),
+            LogicalOp::NestedTupleSource => Err(EngineError::Compile(
+                "nested-tuple-source outside a nested plan".into(),
+            )),
+
+            LogicalOp::DataScan {
+                source,
+                project,
+                var,
+                input,
+            } => {
+                if !matches!(input.as_ref(), LogicalOp::EmptyTupleSource) {
+                    return Err(EngineError::Compile(
+                        "data-scan over a non-trivial input is unsupported".into(),
+                    ));
+                }
+                let dir = resolve_collection(&self.opts.data_root, &source.path);
+                let mut p = Pipeline {
+                    input: PipeInput::Source(Arc::new(ProjectedScanFactory {
+                        dir,
+                        project: project.clone(),
+                    })),
+                    steps: Vec::new(),
+                    schema: vec![*var],
+                    parallelism: Parallelism::Full,
+                };
+                Self::prune(&mut p, live);
+                Ok(p)
+            }
+
+            LogicalOp::Assign { var, expr, input } => {
+                // Naive source patterns.
+                if matches!(input.as_ref(), LogicalOp::EmptyTupleSource) {
+                    if let LogicalExpr::Call(Function::Collection, args) = expr {
+                        if let Some(path) = args.first().and_then(const_string) {
+                            let dir = resolve_collection(&self.opts.data_root, path);
+                            return Ok(Pipeline {
+                                input: PipeInput::Source(Arc::new(WholeCollectionScanFactory {
+                                    dir,
+                                    nodes: self.opts.nodes,
+                                })),
+                                steps: Vec::new(),
+                                schema: vec![*var],
+                                parallelism: Parallelism::One,
+                            });
+                        }
+                    }
+                    if let LogicalExpr::Call(Function::JsonDoc, args) = expr {
+                        if let Some(path) = args.first().and_then(const_string) {
+                            let file = resolve_collection(&self.opts.data_root, path);
+                            return Ok(Pipeline {
+                                input: PipeInput::Source(Arc::new(JsonDocScanFactory { file })),
+                                steps: Vec::new(),
+                                schema: vec![*var],
+                                parallelism: Parallelism::One,
+                            });
+                        }
+                    }
+                }
+                let mut live_in: HashSet<VarId> =
+                    live.iter().copied().filter(|v| v != var).collect();
+                live_in.extend(expr_vars(expr));
+                let mut p = self.compile_op(input, &live_in, job)?;
+                p.steps
+                    .push(StepSpec::Assign(Self::compile_expr(expr, &p.schema, None)?));
+                p.schema.push(*var);
+                Self::prune(&mut p, live);
+                Ok(p)
+            }
+
+            LogicalOp::Select { cond, input } => {
+                let mut live_in = live.clone();
+                live_in.extend(expr_vars(cond));
+                let mut p = self.compile_op(input, &live_in, job)?;
+                p.steps
+                    .push(StepSpec::Select(Self::compile_expr(cond, &p.schema, None)?));
+                Self::prune(&mut p, live);
+                Ok(p)
+            }
+
+            LogicalOp::Unnest { var, expr, input } => {
+                let (kind, inner) = match expr {
+                    LogicalExpr::Call(Function::Iterate, args) if args.len() == 1 => {
+                        (UnnestKind::Iterate, &args[0])
+                    }
+                    LogicalExpr::Call(Function::KeysOrMembers, args) if args.len() == 1 => {
+                        (UnnestKind::KeysOrMembers, &args[0])
+                    }
+                    other => (UnnestKind::Iterate, other),
+                };
+                let mut live_in: HashSet<VarId> =
+                    live.iter().copied().filter(|v| v != var).collect();
+                live_in.extend(expr_vars(inner));
+                let mut p = self.compile_op(input, &live_in, job)?;
+                p.steps.push(StepSpec::Unnest {
+                    kind,
+                    arg: Self::compile_expr(inner, &p.schema, None)?,
+                });
+                p.schema.push(*var);
+                Self::prune(&mut p, live);
+                Ok(p)
+            }
+
+            LogicalOp::Subplan { nested, input } => {
+                let (c, func, arg, j, s) = decompose_subplan(nested)?;
+                let mut live_in: HashSet<VarId> =
+                    live.iter().copied().filter(|v| *v != c).collect();
+                live_in.insert(s);
+                live_in.extend(expr_vars(arg).into_iter().filter(|v| *v != j));
+                let mut p = self.compile_op(input, &live_in, job)?;
+                let seq = Self::field_of(&p.schema, s).map(RtExpr::Field)?;
+                let carg = Self::compile_expr(arg, &p.schema, Some(j))?;
+                p.steps.push(StepSpec::SubplanAgg {
+                    func,
+                    seq,
+                    arg: carg,
+                });
+                p.schema.push(c);
+                Self::prune(&mut p, live);
+                Ok(p)
+            }
+
+            LogicalOp::Aggregate {
+                var,
+                func,
+                arg,
+                input,
+            } => {
+                let mut live_in: HashSet<VarId> = expr_vars(arg).into_iter().collect();
+                live_in.extend(live.iter().copied().filter(|v| v != var));
+                let mut p = self.compile_op(input, &live_in, job)?;
+                let carg = Self::compile_expr(arg, &p.schema, None)?;
+                let split = if self.opts.two_step_aggregation && p.parallelism == Parallelism::Full
+                {
+                    func.two_step()
+                } else {
+                    None
+                };
+                match split {
+                    Some((local, global)) => {
+                        p.steps.push(StepSpec::Aggregate {
+                            func: local,
+                            arg: carg,
+                        });
+                        let sid = seal(rebind(p, vec![*var]), job);
+                        Ok(Pipeline {
+                            input: PipeInput::Stage {
+                                from: sid,
+                                connector: Connector::MergeToOne,
+                            },
+                            steps: vec![StepSpec::Aggregate {
+                                func: global,
+                                arg: RtExpr::Field(0),
+                            }],
+                            schema: vec![*var],
+                            parallelism: Parallelism::One,
+                        })
+                    }
+                    None => {
+                        let sid = seal(p, job);
+                        Ok(Pipeline {
+                            input: PipeInput::Stage {
+                                from: sid,
+                                connector: Connector::MergeToOne,
+                            },
+                            steps: vec![StepSpec::Aggregate {
+                                func: *func,
+                                arg: carg,
+                            }],
+                            schema: vec![*var],
+                            parallelism: Parallelism::One,
+                        })
+                    }
+                }
+            }
+
+            LogicalOp::GroupBy {
+                keys,
+                nested,
+                input,
+            } => self.compile_group_by(keys, nested, input, live, job),
+
+            LogicalOp::OrderBy { keys, input } => {
+                let mut live_in = live.clone();
+                for (e, _) in keys {
+                    live_in.extend(expr_vars(e));
+                }
+                let p = self.compile_op(input, &live_in, job)?;
+                let schema = p.schema.clone();
+                let mut ckeys = Vec::with_capacity(keys.len());
+                for (e, asc) in keys {
+                    ckeys.push((Self::compile_expr(e, &schema, None)?, *asc));
+                }
+                // A total order needs one sorter: merge everything to a
+                // single partition, sort there. (A parallel sort-merge
+                // would sort per partition and merge; the workloads here
+                // order small result sets, so the simple plan wins.)
+                let sid = seal(p, job);
+                Ok(Pipeline {
+                    input: PipeInput::Stage {
+                        from: sid,
+                        connector: Connector::MergeToOne,
+                    },
+                    steps: vec![StepSpec::Sort { keys: ckeys }],
+                    schema,
+                    parallelism: Parallelism::One,
+                })
+            }
+
+            LogicalOp::Join { cond, left, right } => {
+                self.compile_join(cond, left, right, live, job)
+            }
+
+            LogicalOp::Distribute { exprs, input } => {
+                let mut live_in: HashSet<VarId> = live.clone();
+                for e in exprs {
+                    live_in.extend(expr_vars(e));
+                }
+                let mut p = self.compile_op(input, &live_in, job)?;
+                // Materialize non-variable result expressions.
+                let mut out_fields = Vec::with_capacity(exprs.len());
+                for e in exprs {
+                    match e {
+                        LogicalExpr::Var(v) => out_fields.push(Self::field_of(&p.schema, *v)?),
+                        other => {
+                            let compiled = Self::compile_expr(other, &p.schema, None)?;
+                            p.steps.push(StepSpec::Assign(compiled));
+                            let v = self.gen.fresh();
+                            p.schema.push(v);
+                            out_fields.push(p.schema.len() - 1);
+                        }
+                    }
+                }
+                p.steps.push(StepSpec::Project(out_fields.clone()));
+                p.schema = out_fields.iter().map(|&i| p.schema[i]).collect();
+                Ok(p)
+            }
+        }
+    }
+
+    fn compile_group_by(
+        &mut self,
+        keys: &[(VarId, LogicalExpr)],
+        nested: &LogicalOp,
+        input: &LogicalOp,
+        live: &HashSet<VarId>,
+        job: &mut JobSpec,
+    ) -> Result<Pipeline> {
+        let (agg_var, func, arg) = decompose_group_agg(nested)?;
+        let mut live_in: HashSet<VarId> = expr_vars(arg).into_iter().collect();
+        for (_, ke) in keys {
+            live_in.extend(expr_vars(ke));
+        }
+        let mut p = self.compile_op(input, &live_in, job)?;
+
+        // Materialize key fields. Keys always pass through an ASSIGN with
+        // canonicalization (RtExpr::Canon): group membership downstream is
+        // decided by *byte* equality of the serialized key, so JSONiq-equal
+        // values (1 vs 1.0, singleton sequences) must serialize identically.
+        let mut key_fields = Vec::with_capacity(keys.len());
+        let mut out_schema = Vec::with_capacity(keys.len() + 1);
+        for (gv, ke) in keys {
+            let compiled = Self::compile_expr(ke, &p.schema, None)?;
+            p.steps
+                .push(StepSpec::Assign(RtExpr::Canon(Box::new(compiled))));
+            let tmp = self.gen.fresh();
+            p.schema.push(tmp);
+            key_fields.push(p.schema.len() - 1);
+            out_schema.push(*gv);
+        }
+        out_schema.push(agg_var);
+
+        let carg = Self::compile_expr(arg, &p.schema, None)?;
+        let nkeys = key_fields.len();
+
+        if func == AggFunc::Sequence {
+            let RtExpr::Field(seq_field) = carg else {
+                return Err(EngineError::Compile(
+                    "sequence aggregation argument must be a variable".into(),
+                ));
+            };
+            let sid = seal(p, job);
+            let mut out = Pipeline {
+                input: PipeInput::Stage {
+                    from: sid,
+                    connector: Connector::Hash {
+                        key_fields: key_fields.clone(),
+                    },
+                },
+                steps: vec![StepSpec::MatGroupBy {
+                    key_fields,
+                    seq_field,
+                }],
+                schema: out_schema,
+                parallelism: Parallelism::Full,
+            };
+            Self::prune(&mut out, live);
+            return Ok(out);
+        }
+
+        let split = if self.opts.two_step_aggregation {
+            func.two_step()
+        } else {
+            None
+        };
+        let mut out = match split {
+            Some((local, global)) => {
+                // Local pre-aggregation fused into the producing stage.
+                p.steps.push(StepSpec::HashGroupBy {
+                    key_fields: key_fields.clone(),
+                    func: local,
+                    arg: carg,
+                });
+                let local_schema: Vec<VarId> = out_schema.clone();
+                let sid = seal(rebind(p, local_schema), job);
+                Pipeline {
+                    input: PipeInput::Stage {
+                        from: sid,
+                        connector: Connector::Hash {
+                            key_fields: (0..nkeys).collect(),
+                        },
+                    },
+                    steps: vec![StepSpec::HashGroupBy {
+                        key_fields: (0..nkeys).collect(),
+                        func: global,
+                        arg: RtExpr::Field(nkeys),
+                    }],
+                    schema: out_schema,
+                    parallelism: Parallelism::Full,
+                }
+            }
+            None => {
+                let sid = seal(p, job);
+                Pipeline {
+                    input: PipeInput::Stage {
+                        from: sid,
+                        connector: Connector::Hash {
+                            key_fields: key_fields.clone(),
+                        },
+                    },
+                    steps: vec![StepSpec::HashGroupBy {
+                        key_fields,
+                        func,
+                        arg: carg,
+                    }],
+                    schema: out_schema,
+                    parallelism: Parallelism::Full,
+                }
+            }
+        };
+        Self::prune(&mut out, live);
+        Ok(out)
+    }
+
+    fn compile_join(
+        &mut self,
+        cond: &LogicalExpr,
+        left: &LogicalOp,
+        right: &LogicalOp,
+        live: &HashSet<VarId>,
+        job: &mut JobSpec,
+    ) -> Result<Pipeline> {
+        let lvars = produced_vars(left);
+        let rvars = produced_vars(right);
+
+        // Split the condition into equi-join keys and residual conjuncts.
+        let mut lkeys: Vec<LogicalExpr> = Vec::new();
+        let mut rkeys: Vec<LogicalExpr> = Vec::new();
+        let mut residual: Vec<LogicalExpr> = Vec::new();
+        for c in cond.conjuncts() {
+            if matches!(c, LogicalExpr::Const(Item::Boolean(true))) {
+                continue;
+            }
+            if let LogicalExpr::Call(Function::Eq, args) = c {
+                if let [a, b] = args.as_slice() {
+                    let side = |e: &LogicalExpr| {
+                        let vs = expr_vars(e);
+                        let in_l = vs.iter().all(|v| lvars.contains(v));
+                        let in_r = vs.iter().all(|v| rvars.contains(v));
+                        (in_l, in_r)
+                    };
+                    match (side(a), side(b)) {
+                        ((true, false), (false, true)) => {
+                            lkeys.push(a.clone());
+                            rkeys.push(b.clone());
+                            continue;
+                        }
+                        ((false, true), (true, false)) => {
+                            lkeys.push(b.clone());
+                            rkeys.push(a.clone());
+                            continue;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            residual.push(c.clone());
+        }
+        if lkeys.is_empty() {
+            return Err(EngineError::Compile(
+                "join requires at least one cross-side equality".into(),
+            ));
+        }
+
+        // Each side needs: variables live above, its key expressions, and
+        // whatever the residual condition reads.
+        let mut live_l: HashSet<VarId> =
+            live.iter().copied().filter(|v| lvars.contains(v)).collect();
+        let mut live_r: HashSet<VarId> =
+            live.iter().copied().filter(|v| rvars.contains(v)).collect();
+        for e in &lkeys {
+            live_l.extend(expr_vars(e));
+        }
+        for e in &rkeys {
+            live_r.extend(expr_vars(e));
+        }
+        for e in &residual {
+            for v in expr_vars(e) {
+                if lvars.contains(&v) {
+                    live_l.insert(v);
+                } else {
+                    live_r.insert(v);
+                }
+            }
+        }
+
+        let mut lp = self.compile_op(left, &live_l, job)?;
+        let mut rp = self.compile_op(right, &live_r, job)?;
+
+        let lkf = self.materialize_keys(&lkeys, &mut lp)?;
+        let rkf = self.materialize_keys(&rkeys, &mut rp)?;
+
+        // Output schema: probe (right) fields then build (left) fields —
+        // HashJoinOp's output order.
+        let mut out_schema = rp.schema.clone();
+        out_schema.extend(lp.schema.iter().copied());
+        let residual_rt = if residual.is_empty() {
+            None
+        } else {
+            Some(Self::compile_expr(
+                &LogicalExpr::conjoin(residual),
+                &out_schema,
+                None,
+            )?)
+        };
+
+        let lsid = seal(lp, job);
+        let rsid = seal(rp, job);
+        let jid = job.add(Stage {
+            kind: StageKind::Join {
+                build: StageInput {
+                    from: lsid,
+                    connector: Connector::Hash {
+                        key_fields: lkf.clone(),
+                    },
+                },
+                probe: StageInput {
+                    from: rsid,
+                    connector: Connector::Hash {
+                        key_fields: rkf.clone(),
+                    },
+                },
+                factory: Arc::new(JoinChainFactory {
+                    build_keys: lkf,
+                    probe_keys: rkf,
+                    residual: residual_rt,
+                }),
+            },
+            parallelism: Parallelism::Full,
+        });
+        let mut out = Pipeline {
+            input: PipeInput::Stage {
+                from: jid,
+                connector: Connector::OneToOne,
+            },
+            steps: Vec::new(),
+            schema: out_schema,
+            parallelism: Parallelism::Full,
+        };
+        Self::prune(&mut out, live);
+        Ok(out)
+    }
+
+    /// Ensure each key expression is a plain field, appending ASSIGNs for
+    /// computed keys; returns the key field indices.
+    fn materialize_keys(&mut self, keys: &[LogicalExpr], p: &mut Pipeline) -> Result<Vec<usize>> {
+        let mut out = Vec::with_capacity(keys.len());
+        for k in keys {
+            let compiled = Self::compile_expr(k, &p.schema, None)?;
+            p.steps
+                .push(StepSpec::Assign(RtExpr::Canon(Box::new(compiled))));
+            let tmp = self.gen.fresh();
+            p.schema.push(tmp);
+            out.push(p.schema.len() - 1);
+        }
+        Ok(out)
+    }
+}
+
+/// Replace a pipeline's schema (used when a fused aggregate collapses the
+/// tuple down to a single field).
+fn rebind(p: Pipeline, schema: Vec<VarId>) -> Pipeline {
+    Pipeline { schema, ..p }
+}
+
+/// All variables produced anywhere in a subtree.
+fn produced_vars(op: &LogicalOp) -> HashSet<VarId> {
+    let mut out = HashSet::new();
+    op.visit(&mut |o| out.extend(o.produced_vars()));
+    out
+}
+
+/// Decompose `SUBPLAN { AGGREGATE f(arg) over UNNEST $j := iterate($s)
+/// over NTS }`.
+fn decompose_subplan(nested: &LogicalOp) -> Result<(VarId, AggFunc, &LogicalExpr, VarId, VarId)> {
+    let LogicalOp::Aggregate {
+        var,
+        func,
+        arg,
+        input,
+    } = nested
+    else {
+        return Err(EngineError::Compile(
+            "subplan must contain an aggregate".into(),
+        ));
+    };
+    let LogicalOp::Unnest {
+        var: j,
+        expr,
+        input: u_in,
+    } = input.as_ref()
+    else {
+        return Err(EngineError::Compile(
+            "subplan aggregate must read an unnest".into(),
+        ));
+    };
+    if !matches!(u_in.as_ref(), LogicalOp::NestedTupleSource) {
+        return Err(EngineError::Compile(
+            "subplan unnest must read nested-tuple-source".into(),
+        ));
+    }
+    let LogicalExpr::Call(Function::Iterate, it_args) = expr else {
+        return Err(EngineError::Compile("subplan unnest must iterate".into()));
+    };
+    let [LogicalExpr::Var(s)] = it_args.as_slice() else {
+        return Err(EngineError::Compile(
+            "subplan unnest must iterate a variable".into(),
+        ));
+    };
+    Ok((*var, *func, arg, *j, *s))
+}
+
+/// Decompose a GROUP-BY nested plan: `AGGREGATE f(arg) over NTS`.
+fn decompose_group_agg(nested: &LogicalOp) -> Result<(VarId, AggFunc, &LogicalExpr)> {
+    let LogicalOp::Aggregate {
+        var,
+        func,
+        arg,
+        input,
+    } = nested
+    else {
+        return Err(EngineError::Compile(
+            "group-by nested plan must be an aggregate".into(),
+        ));
+    };
+    if !matches!(input.as_ref(), LogicalOp::NestedTupleSource) {
+        return Err(EngineError::Compile(
+            "group-by nested aggregate must read nested-tuple-source".into(),
+        ));
+    }
+    Ok((*var, *func, arg))
+}
+
+// Decode helper used by tests and the engine's row printing.
+pub(crate) fn _decode_item(bytes: &[u8]) -> Option<Item> {
+    ItemRef::new(bytes).ok()?.to_item().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use algebra::rules::{RuleConfig, RuleSet};
+
+    fn compile(query: &str, rules: RuleConfig) -> JobSpec {
+        let mut plan = jsoniq::compile(query).expect("compiles");
+        RuleSet::for_config(rules).optimize(&mut plan);
+        compile_plan(
+            &plan,
+            &CompileOptions {
+                data_root: PathBuf::from("/nonexistent"),
+                nodes: 2,
+                two_step_aggregation: rules.two_step_aggregation,
+            },
+        )
+        .expect("physical compilation")
+    }
+
+    fn stage_kinds(job: &JobSpec) -> Vec<&'static str> {
+        job.stages
+            .iter()
+            .map(|s| match s.kind {
+                StageKind::Source { .. } => "source",
+                StageKind::Pipe { .. } => "pipe",
+                StageKind::Join { .. } => "join",
+            })
+            .collect()
+    }
+
+    #[test]
+    fn optimized_q0_is_a_single_source_stage() {
+        let job = compile(crate::queries::Q0, RuleConfig::all());
+        assert_eq!(stage_kinds(&job), vec!["source"]);
+        assert_eq!(job.stages[0].parallelism, Parallelism::Full);
+    }
+
+    #[test]
+    fn optimized_q1_has_local_groupby_then_exchange() {
+        let job = compile(crate::queries::Q1, RuleConfig::all());
+        // Source (scan + select + key assign + local group-by), then the
+        // global group-by stage behind a hash exchange.
+        assert_eq!(stage_kinds(&job), vec!["source", "pipe"]);
+        let StageKind::Pipe { input, .. } = &job.stages[1].kind else {
+            unreachable!()
+        };
+        assert!(matches!(input.connector, Connector::Hash { .. }));
+        assert_eq!(job.stages[1].parallelism, Parallelism::Full);
+    }
+
+    #[test]
+    fn q1_without_two_step_exchanges_raw_tuples() {
+        let cfg = RuleConfig {
+            two_step_aggregation: false,
+            ..RuleConfig::all()
+        };
+        let job = compile(crate::queries::Q1, cfg);
+        assert_eq!(stage_kinds(&job), vec!["source", "pipe"]);
+    }
+
+    #[test]
+    fn naive_q1_uses_single_partition_whole_collection_scan() {
+        let job = compile(crate::queries::Q1, RuleConfig::none());
+        // First stage: the naive collection scan, parallelism One.
+        assert!(matches!(job.stages[0].kind, StageKind::Source { .. }));
+        assert_eq!(job.stages[0].parallelism, Parallelism::One);
+    }
+
+    #[test]
+    fn optimized_q2_builds_join_with_hash_inputs() {
+        let job = compile(crate::queries::Q2, RuleConfig::all());
+        let kinds = stage_kinds(&job);
+        assert!(kinds.contains(&"join"), "{kinds:?}");
+        // Both join inputs arrive via hash exchanges on the key fields.
+        let join = job
+            .stages
+            .iter()
+            .find_map(|s| match &s.kind {
+                StageKind::Join { build, probe, .. } => Some((build, probe)),
+                _ => None,
+            })
+            .expect("join stage");
+        assert!(
+            matches!(join.0.connector, Connector::Hash { ref key_fields } if key_fields.len() == 2)
+        );
+        assert!(
+            matches!(join.1.connector, Connector::Hash { ref key_fields } if key_fields.len() == 2)
+        );
+    }
+
+    #[test]
+    fn q2_ends_with_single_partition_aggregate() {
+        let job = compile(crate::queries::Q2, RuleConfig::all());
+        let terminal = job.terminal().expect("terminal");
+        assert_eq!(job.stages[terminal].parallelism, Parallelism::One);
+    }
+
+    #[test]
+    fn join_without_equality_is_rejected() {
+        let q = r#"
+            avg(
+              for $a in collection("/s")("root")()
+              for $b in collection("/s")("root")()
+              where $a("x") lt $b("x")
+              return 1
+            )
+        "#;
+        let mut plan = jsoniq::compile(q).expect("compiles");
+        RuleSet::for_config(RuleConfig::all()).optimize(&mut plan);
+        let r = compile_plan(
+            &plan,
+            &CompileOptions {
+                data_root: PathBuf::from("/nonexistent"),
+                nodes: 1,
+                two_step_aggregation: true,
+            },
+        );
+        match r {
+            Err(err) => assert!(err.to_string().contains("equality"), "{err}"),
+            Ok(_) => panic!("non-equi join must be rejected"),
+        }
+    }
+
+    #[test]
+    fn column_pruning_inserts_projects_for_naive_plans() {
+        // The naive plan carries the whole-collection sequence variable;
+        // pruning must drop it after the iterate.
+        let mut plan = jsoniq::compile(crate::queries::Q0).expect("compiles");
+        RuleSet::for_config(RuleConfig::none()).optimize(&mut plan);
+        let job = compile_plan(
+            &plan,
+            &CompileOptions {
+                data_root: PathBuf::from("/nonexistent"),
+                nodes: 1,
+                two_step_aggregation: false,
+            },
+        )
+        .expect("compiles physically");
+        // Can't inspect steps directly (private), but compilation must
+        // succeed and produce at least one stage; the e2e memory test
+        // (xtests) verifies pruning behaviourally.
+        assert!(!job.stages.is_empty());
+    }
+}

@@ -1,0 +1,146 @@
+//! The public engine API.
+
+use crate::compile::{compile_plan, CompileOptions};
+use crate::error::Result;
+use algebra::rules::{RuleConfig, RuleSet};
+use algebra::LogicalPlan;
+use dataflow::{Cluster, ClusterSpec, JobStats, Rows};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Engine construction parameters.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Simulated cluster shape.
+    pub cluster: ClusterSpec,
+    /// Which rewrite-rule families are active (the experiment knob).
+    pub rules: RuleConfig,
+    /// Directory collection paths resolve under.
+    pub data_root: PathBuf,
+    /// Optional memory budget in bytes for materialized state (0 = none).
+    pub memory_budget: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            cluster: ClusterSpec::default(),
+            rules: RuleConfig::all(),
+            data_root: PathBuf::from("."),
+            memory_budget: 0,
+        }
+    }
+}
+
+/// A query result: decoded rows plus runtime statistics and provenance.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Result tuples (one `Vec<Item>` per row; the paper's queries return
+    /// single-field rows).
+    pub rows: Rows,
+    /// Runtime statistics (elapsed, peak memory, network traffic, ...).
+    pub stats: JobStats,
+    /// The optimized logical plan, in EXPLAIN form.
+    pub plan: String,
+    /// The rewrite rules that fired, in application order.
+    pub applied_rules: Vec<&'static str>,
+}
+
+/// The JSONiq query engine: parse → translate → optimize → compile → run.
+pub struct Engine {
+    config: EngineConfig,
+    cluster: Cluster,
+    rules: RuleSet,
+}
+
+impl Engine {
+    /// Build an engine. The cluster's worker structure is created once
+    /// and reused across queries.
+    pub fn new(config: EngineConfig) -> Self {
+        let mem = if config.memory_budget > 0 {
+            dataflow::MemTracker::with_budget(config.memory_budget)
+        } else {
+            dataflow::MemTracker::new()
+        };
+        let cluster = Cluster::with_memory(config.cluster.clone(), mem);
+        let rules = RuleSet::for_config(config.rules);
+        Engine {
+            config,
+            cluster,
+            rules,
+        }
+    }
+
+    /// Convenience: default single-node engine over a data directory.
+    pub fn single_node(data_root: impl Into<PathBuf>) -> Self {
+        Engine::new(EngineConfig {
+            data_root: data_root.into(),
+            ..EngineConfig::default()
+        })
+    }
+
+    /// Build an engine with a hand-picked rule set instead of the standard
+    /// families (used by the AsterixDB baseline, which shares the
+    /// infrastructure but lacks the JSONiq pipelining rules).
+    pub fn with_rule_set(config: EngineConfig, rules: RuleSet) -> Self {
+        let mem = if config.memory_budget > 0 {
+            dataflow::MemTracker::with_budget(config.memory_budget)
+        } else {
+            dataflow::MemTracker::new()
+        };
+        let cluster = Cluster::with_memory(config.cluster.clone(), mem);
+        Engine {
+            config,
+            cluster,
+            rules,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The cluster's memory tracker (peak materialized bytes, budget).
+    pub fn memory(&self) -> &Arc<dataflow::MemTracker> {
+        self.cluster.memory()
+    }
+
+    /// Parse, translate and optimize; returns the plan without running it.
+    pub fn optimize(&self, query: &str) -> Result<(LogicalPlan, Vec<&'static str>)> {
+        let mut plan = jsoniq::compile(query)?;
+        let applied = self.rules.optimize(&mut plan);
+        Ok((plan, applied))
+    }
+
+    /// The optimized plan in textual EXPLAIN form.
+    pub fn explain(&self, query: &str) -> Result<String> {
+        Ok(self.optimize(query)?.0.explain())
+    }
+
+    /// Execute a query end to end.
+    ///
+    /// Note on statistics: the cluster-wide memory tracker is reset at the
+    /// start of each run, so `stats.peak_memory` describes this query
+    /// alone. Executing concurrently on one `Engine` interleaves that
+    /// accounting (results stay correct); use one engine per thread when
+    /// per-query statistics matter.
+    pub fn execute(&self, query: &str) -> Result<QueryResult> {
+        let (plan, applied_rules) = self.optimize(query)?;
+        let job = compile_plan(
+            &plan,
+            &CompileOptions {
+                data_root: self.config.data_root.clone(),
+                nodes: self.config.cluster.nodes,
+                two_step_aggregation: self.config.rules.two_step_aggregation,
+            },
+        )?;
+        let (rows, stats) = self.cluster.run(&job)?;
+        Ok(QueryResult {
+            rows,
+            stats,
+            plan: plan.explain(),
+            applied_rules,
+        })
+    }
+}

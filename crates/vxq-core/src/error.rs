@@ -1,0 +1,48 @@
+//! Engine-level errors.
+
+use std::fmt;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+/// Anything that can go wrong between query text and result rows.
+#[derive(Debug)]
+pub enum EngineError {
+    /// Lexing / parsing / translation.
+    Parse(jsoniq::ParseError),
+    /// Physical compilation (unsupported plan shapes, missing keys).
+    Compile(String),
+    /// Runtime execution.
+    Execute(dataflow::DataflowError),
+    /// Data access outside the runtime (setup, paths).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Parse(e) => write!(f, "{e}"),
+            EngineError::Compile(m) => write!(f, "compile error: {m}"),
+            EngineError::Execute(e) => write!(f, "execution error: {e}"),
+            EngineError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<jsoniq::ParseError> for EngineError {
+    fn from(e: jsoniq::ParseError) -> Self {
+        EngineError::Parse(e)
+    }
+}
+impl From<dataflow::DataflowError> for EngineError {
+    fn from(e: dataflow::DataflowError) -> Self {
+        EngineError::Execute(e)
+    }
+}
+impl From<std::io::Error> for EngineError {
+    fn from(e: std::io::Error) -> Self {
+        EngineError::Io(e)
+    }
+}

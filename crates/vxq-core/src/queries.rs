@@ -1,0 +1,85 @@
+//! The paper's evaluation queries (§5.2, Listings 7–11) and the bookstore
+//! running examples (§4, Listings 2–5), verbatim modulo whitespace.
+//!
+//! The sensor queries assume the GHCN-style collection layout produced by
+//! the `datagen` crate under the collection name `/sensors`.
+
+/// Q0 — selection (Listing 7): all December-25 readings from 2003 on.
+pub const Q0: &str = r#"
+for $r in collection("/sensors")("root")()("results")()
+let $datetime := dateTime(data($r("date")))
+where year-from-dateTime($datetime) ge 2003
+  and month-from-dateTime($datetime) eq 12
+  and day-from-dateTime($datetime) eq 25
+return $r
+"#;
+
+/// Q0b — selection over a narrower path (Listing 8): the input path is
+/// extended by `("date")`, so only date strings flow through the plan.
+pub const Q0B: &str = r#"
+for $r in collection("/sensors")("root")()("results")()("date")
+let $datetime := dateTime(data($r))
+where year-from-dateTime($datetime) ge 2003
+  and month-from-dateTime($datetime) eq 12
+  and day-from-dateTime($datetime) eq 25
+return $r
+"#;
+
+/// Q1 — group-by aggregation (Listing 9): stations reporting TMIN per date.
+pub const Q1: &str = r#"
+for $r in collection("/sensors")("root")()("results")()
+where $r("dataType") eq "TMIN"
+group by $date := $r("date")
+return count($r("station"))
+"#;
+
+/// Q1b — Q1 "already written in an optimized way" (Listing 10).
+pub const Q1B: &str = r#"
+for $r in collection("/sensors")("root")()("results")()
+where $r("dataType") eq "TMIN"
+group by $date := $r("date")
+return count(for $i in $r return $i("station"))
+"#;
+
+/// Q2 — self-join + aggregation (Listing 11): average daily temperature
+/// difference per station.
+pub const Q2: &str = r#"
+avg(
+  for $r_min in collection("/sensors")("root")()("results")()
+  for $r_max in collection("/sensors")("root")()("results")()
+  where $r_min("station") eq $r_max("station")
+    and $r_min("date") eq $r_max("date")
+    and $r_min("dataType") eq "TMIN"
+    and $r_max("dataType") eq "TMAX"
+  return $r_max("value") - $r_min("value")
+) div 10
+"#;
+
+/// All five sensor queries with their paper names.
+pub const SENSOR_QUERIES: [(&str, &str); 5] = [
+    ("Q0", Q0),
+    ("Q0b", Q0B),
+    ("Q1", Q1),
+    ("Q1b", Q1B),
+    ("Q2", Q2),
+];
+
+/// Listing 2: all books from a single bookstore document.
+pub const BOOKSTORE_DOC: &str = r#"json-doc("books.json")("bookstore")("book")()"#;
+
+/// Listing 3: all books from a bookstore collection.
+pub const BOOKSTORE_COLLECTION: &str = r#"collection("/books")("bookstore")("book")()"#;
+
+/// Listing 4: books per author.
+pub const BOOKSTORE_COUNT: &str = r#"
+for $x in collection("/books")("bookstore")("book")()
+group by $author := $x("author")
+return count($x("title"))
+"#;
+
+/// Listing 5: books per author, second form.
+pub const BOOKSTORE_COUNT2: &str = r#"
+for $x in collection("/books")("bookstore")("book")()
+group by $author := $x("author")
+return count(for $j in $x return $j("title"))
+"#;

