@@ -27,4 +27,4 @@ pub mod rules;
 
 pub use expr::{AggFunc, Function, LogicalExpr};
 pub use plan::{DataSource, LogicalOp, LogicalPlan, VarGen, VarId};
-pub use rules::{RuleConfig, RuleSet};
+pub use rules::{plan_size, RuleConfig, RuleFiring, RuleSet};

@@ -133,14 +133,37 @@ impl RuleSet {
     /// Run all rules to fixpoint; returns the names of applications in
     /// order (a rule appears once per successful application round).
     pub fn optimize(&self, plan: &mut LogicalPlan) -> Vec<&'static str> {
+        self.optimize_traced(plan)
+            .into_iter()
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    /// Like [`RuleSet::optimize`], but returns one [`RuleFiring`] per
+    /// successful application, carrying timing and plan-size deltas for
+    /// the tracing layer.
+    pub fn optimize_traced(&self, plan: &mut LogicalPlan) -> Vec<RuleFiring> {
         let mut applied = Vec::new();
         // Fixpoint with a generous safety cap: every rule strictly shrinks
         // the plan or pushes work down, so this terminates long before.
-        for _ in 0..100 {
+        for round in 0..100 {
             let mut changed = false;
             for rule in &self.rules {
-                while rule.apply(plan) {
-                    applied.push(rule.name());
+                loop {
+                    let nodes_before = plan_size(plan);
+                    let start = std::time::Instant::now();
+                    let fired = rule.apply(plan);
+                    let duration = start.elapsed();
+                    if !fired {
+                        break;
+                    }
+                    applied.push(RuleFiring {
+                        rule: rule.name(),
+                        round,
+                        duration,
+                        nodes_before,
+                        nodes_after: plan_size(plan),
+                    });
                     changed = true;
                 }
             }
@@ -150,6 +173,29 @@ impl RuleSet {
         }
         applied
     }
+}
+
+/// One successful rule application, as observed by
+/// [`RuleSet::optimize_traced`].
+#[derive(Debug, Clone)]
+pub struct RuleFiring {
+    /// [`Rule::name`] of the rule that fired.
+    pub rule: &'static str,
+    /// Fixpoint round in which it fired.
+    pub round: usize,
+    /// Wall time of the successful `apply` call.
+    pub duration: std::time::Duration,
+    /// Plan size (operator count) before the application…
+    pub nodes_before: usize,
+    /// …and after.
+    pub nodes_after: usize,
+}
+
+/// Number of operators in the plan (the size metric in rule firings).
+pub fn plan_size(plan: &LogicalPlan) -> usize {
+    let mut n = 0;
+    plan.root.visit(&mut |_| n += 1);
+    n
 }
 
 /// Count references to every variable in the whole plan's expressions.

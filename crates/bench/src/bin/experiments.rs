@@ -3,12 +3,20 @@
 //! ```text
 //! cargo run -p bench --release -- [--scale tiny|small|large]
 //!                                 [--repeat N] [--out FILE]
+//!                                 [--metrics-dir DIR]
 //!                                 <experiment>... | all | list
 //! ```
 //!
 //! Each experiment prints the corresponding paper table/figure as a
 //! markdown table; `--out` additionally appends everything to a file
 //! (used to produce EXPERIMENTS.md).
+//!
+//! `--metrics-dir DIR` runs every sensor query once on a 2-node × 2-
+//! partition cluster with full observability and writes, per query:
+//! `<q>.prom` (Prometheus text exposition), `<q>.metrics.json` (stats +
+//! per-operator profile + per-rule optimizer timings), `<q>.trace.json`
+//! (Chrome trace, load via chrome://tracing) and `<q>.trace.jsonl`
+//! (JSON-lines spans), plus an `EXPLAIN ANALYZE` report on stdout.
 
 use bench::experiments::{by_name, EXPERIMENTS};
 use bench::{Harness, Scale};
@@ -17,15 +25,50 @@ use std::io::Write;
 fn usage() -> ! {
     eprintln!(
         "usage: experiments [--scale tiny|small|large] [--repeat N] [--out FILE] \
-         <fig13|...|table4|all|list>"
+         [--metrics-dir DIR] <fig13|...|table4|all|list>"
     );
     std::process::exit(2);
+}
+
+/// Run each sensor query once with full observability and dump metrics
+/// snapshots + traces into `dir`.
+fn dump_metrics(harness: &Harness, dir: &std::path::Path) {
+    use algebra::rules::RuleConfig;
+    use dataflow::ClusterSpec;
+
+    std::fs::create_dir_all(dir).expect("create metrics dir");
+    let spec = harness.sensor_spec(256 * 1024, 2, 20);
+    let root = harness.dataset("metrics", &spec);
+    let engine = harness.engine(
+        &root,
+        ClusterSpec {
+            nodes: 2,
+            partitions_per_node: 2,
+            ..Default::default()
+        },
+        RuleConfig::all(),
+    );
+    for (name, query) in vxq_core::queries::SENSOR_QUERIES {
+        let (result, trace) = engine.execute_profiled(query).expect("profiled query");
+        let write = |ext: &str, content: String| {
+            let path = dir.join(format!("{name}.{ext}"));
+            std::fs::write(&path, content).expect("write metrics file");
+            eprintln!("   wrote {}", path.display());
+        };
+        write("prom", bench::metrics::to_prometheus(name, &result));
+        write("metrics.json", bench::metrics::to_json(name, &result));
+        write("trace.json", trace.to_chrome_trace());
+        write("trace.jsonl", trace.to_json_lines());
+        println!("== EXPLAIN ANALYZE {name} ==");
+        println!("{}", vxq_core::render_analysis(&result));
+    }
 }
 
 fn main() {
     let mut harness = Harness::default();
     let mut targets: Vec<String> = Vec::new();
     let mut out_file: Option<String> = None;
+    let mut metrics_dir: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -45,11 +88,18 @@ fn main() {
                     .unwrap_or_else(|| usage())
             }
             "--out" => out_file = Some(args.next().unwrap_or_else(|| usage())),
+            "--metrics-dir" => metrics_dir = Some(args.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
             other => targets.push(other.to_string()),
         }
     }
+    if let Some(dir) = &metrics_dir {
+        dump_metrics(&harness, std::path::Path::new(dir));
+    }
     if targets.is_empty() {
+        if metrics_dir.is_some() {
+            return;
+        }
         usage();
     }
     if targets.iter().any(|t| t == "list") {

@@ -15,6 +15,7 @@
 //! table rendering.
 
 pub mod experiments;
+pub mod metrics;
 
 use algebra::rules::RuleConfig;
 use baselines::{BenchQuery, QuerySystem, VxQuerySystem};

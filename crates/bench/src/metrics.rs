@@ -1,0 +1,275 @@
+//! Metrics snapshot rendering for the bench harness.
+//!
+//! A completed [`QueryResult`] renders into two machine-readable forms:
+//!
+//! * [`to_prometheus`] — Prometheus text exposition (one gauge family per
+//!   job statistic, per-operator families labelled by stage/op/name, and
+//!   per-rule optimizer timings), scrape-ready;
+//! * [`to_json`] — a single JSON object with the same content, for ad-hoc
+//!   tooling and the repo's own tests.
+//!
+//! Both are hand-rendered: the dependency tree is std-only (the JSON
+//! escaper is shared with `dataflow::trace`).
+
+use dataflow::trace::escape_json;
+use std::fmt::Write as _;
+use vxq_core::QueryResult;
+
+/// Escape a Prometheus label value (`\`, `"`, newline).
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Render a query result in the Prometheus text exposition format.
+/// `query` becomes the `query` label on every sample.
+pub fn to_prometheus(query: &str, r: &QueryResult) -> String {
+    let q = escape_label(query);
+    let mut out = String::new();
+    let st = &r.stats;
+    let mut gauge = |name: &str, help: &str, value: f64| {
+        let _ = writeln!(out, "# HELP vxq_{name} {help}");
+        let _ = writeln!(out, "# TYPE vxq_{name} gauge");
+        let _ = writeln!(out, "vxq_{name}{{query=\"{q}\"}} {value}");
+    };
+    gauge(
+        "elapsed_seconds",
+        "Simulated cluster makespan of the job.",
+        st.elapsed.as_secs_f64(),
+    );
+    gauge(
+        "cpu_seconds_total",
+        "Total worker CPU time of the job.",
+        st.cpu_total.as_secs_f64(),
+    );
+    gauge(
+        "peak_memory_bytes",
+        "Peak materialized bytes across the cluster.",
+        st.peak_memory as f64,
+    );
+    gauge(
+        "network_bytes_total",
+        "Bytes shipped across node boundaries.",
+        st.network_bytes as f64,
+    );
+    gauge(
+        "frames_shipped_total",
+        "Frames sent through exchanges.",
+        st.frames_shipped as f64,
+    );
+    gauge(
+        "result_tuples",
+        "Tuples emitted by the final sink.",
+        st.result_tuples as f64,
+    );
+    gauge(
+        "bytes_scanned_total",
+        "Raw bytes read by scan sources.",
+        st.bytes_scanned as f64,
+    );
+
+    out.push_str("# HELP vxq_op_tuples_total Tuples through an operator, by direction.\n");
+    out.push_str("# TYPE vxq_op_tuples_total gauge\n");
+    out.push_str("# HELP vxq_op_busy_seconds Operator busy time summed over partitions.\n");
+    out.push_str("# TYPE vxq_op_busy_seconds gauge\n");
+    out.push_str("# HELP vxq_op_stall_seconds Operator emit-stall time summed over partitions.\n");
+    out.push_str("# TYPE vxq_op_stall_seconds gauge\n");
+    for s in r.stats.profile.summaries() {
+        let labels = format!(
+            "query=\"{q}\",stage=\"{}\",op=\"{}\",name=\"{}\"",
+            s.stage,
+            s.op_index,
+            escape_label(s.name)
+        );
+        let _ = writeln!(
+            out,
+            "vxq_op_tuples_total{{{labels},direction=\"in\"}} {}",
+            s.tuples_in
+        );
+        let _ = writeln!(
+            out,
+            "vxq_op_tuples_total{{{labels},direction=\"out\"}} {}",
+            s.tuples_out
+        );
+        let _ = writeln!(
+            out,
+            "vxq_op_busy_seconds{{{labels}}} {}",
+            s.busy.as_secs_f64()
+        );
+        let _ = writeln!(
+            out,
+            "vxq_op_stall_seconds{{{labels}}} {}",
+            s.emit_stall.as_secs_f64()
+        );
+    }
+
+    out.push_str("# HELP vxq_rule_applications_total Optimizer rule firings.\n");
+    out.push_str("# TYPE vxq_rule_applications_total gauge\n");
+    out.push_str("# HELP vxq_rule_seconds_total Time spent in successful rule applications.\n");
+    out.push_str("# TYPE vxq_rule_seconds_total gauge\n");
+    for (rule, count, secs) in rule_rollup(r) {
+        let labels = format!("query=\"{q}\",rule=\"{}\"", escape_label(rule));
+        let _ = writeln!(out, "vxq_rule_applications_total{{{labels}}} {count}");
+        let _ = writeln!(out, "vxq_rule_seconds_total{{{labels}}} {secs}");
+    }
+    out
+}
+
+/// Per-rule (applications, total seconds), in first-fired order.
+fn rule_rollup(r: &QueryResult) -> Vec<(&'static str, u64, f64)> {
+    let mut out: Vec<(&'static str, u64, f64)> = Vec::new();
+    for f in &r.rule_firings {
+        match out.iter_mut().find(|(name, _, _)| *name == f.rule) {
+            Some((_, count, secs)) => {
+                *count += 1;
+                *secs += f.duration.as_secs_f64();
+            }
+            None => out.push((f.rule, 1, f.duration.as_secs_f64())),
+        }
+    }
+    out
+}
+
+/// Render a query result as one JSON object: job stats, per-operator
+/// summaries, and each rule firing with its duration.
+pub fn to_json(query: &str, r: &QueryResult) -> String {
+    let st = &r.stats;
+    let mut out = String::from("{");
+    let _ = write!(out, "\"query\":\"{}\",", escape_json(query));
+    let _ = write!(
+        out,
+        "\"stats\":{{\"elapsed_us\":{},\"cpu_total_us\":{},\"peak_memory_bytes\":{},\
+         \"network_bytes\":{},\"frames_shipped\":{},\"result_tuples\":{},\"bytes_scanned\":{}}},",
+        st.elapsed.as_micros(),
+        st.cpu_total.as_micros(),
+        st.peak_memory,
+        st.network_bytes,
+        st.frames_shipped,
+        st.result_tuples,
+        st.bytes_scanned
+    );
+    out.push_str("\"operators\":[");
+    for (i, s) in r.stats.profile.summaries().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"stage\":{},\"op\":{},\"name\":\"{}\",\"partitions\":{},\
+             \"tuples_in\":{},\"tuples_out\":{},\"frames_in\":{},\"frames_out\":{},\
+             \"bytes_in\":{},\"bytes_out\":{},\"busy_us\":{},\"stall_us\":{}}}",
+            s.stage,
+            s.op_index,
+            escape_json(s.name),
+            s.partitions,
+            s.tuples_in,
+            s.tuples_out,
+            s.frames_in,
+            s.frames_out,
+            s.bytes_in,
+            s.bytes_out,
+            s.busy.as_micros(),
+            s.emit_stall.as_micros()
+        );
+    }
+    out.push_str("],\"rule_firings\":[");
+    for (i, f) in r.rule_firings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"rule\":\"{}\",\"round\":{},\"duration_us\":{},\
+             \"nodes_before\":{},\"nodes_after\":{}}}",
+            escape_json(f.rule),
+            f.round,
+            f.duration.as_micros(),
+            f.nodes_before,
+            f.nodes_after
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Harness, Scale};
+    use algebra::rules::RuleConfig;
+    use dataflow::ClusterSpec;
+
+    fn profiled_q1() -> (QueryResult, std::sync::Arc<dataflow::TraceBuffer>) {
+        let h = Harness {
+            scale: Scale::Tiny,
+            repeat: 1,
+            ..Harness::default()
+        };
+        let spec = h.sensor_spec(64 * 1024, 2, 10);
+        let root = h.dataset("metrics-test", &spec);
+        let e = h.engine(
+            &root,
+            ClusterSpec {
+                nodes: 2,
+                partitions_per_node: 2,
+                ..Default::default()
+            },
+            RuleConfig::all(),
+        );
+        e.execute_profiled(vxq_core::queries::Q1).expect("Q1 runs")
+    }
+
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        let (r, _) = profiled_q1();
+        let prom = to_prometheus("q1", &r);
+        assert!(prom.contains("# TYPE vxq_elapsed_seconds gauge"));
+        assert!(prom.contains("vxq_op_tuples_total{query=\"q1\""));
+        assert!(prom.contains("vxq_rule_applications_total"));
+        // Every non-comment line is `name{labels} value`.
+        for line in prom.lines().filter(|l| !l.starts_with('#')) {
+            let (head, value) = line.rsplit_once(' ').expect("sample has value");
+            assert!(head.contains('{') && head.ends_with('}'), "{line}");
+            value.parse::<f64>().expect("numeric value");
+        }
+    }
+
+    #[test]
+    fn json_snapshot_parses_and_carries_rule_durations() {
+        let (r, trace) = profiled_q1();
+        let json = to_json("q1", &r);
+        let item = jdm::parse::parse_item(json.as_bytes()).expect("snapshot is valid JSON");
+        assert!(
+            !r.rule_firings.is_empty(),
+            "Q1 with all rules must fire rewrites"
+        );
+        let first = item
+            .get_key("rule_firings")
+            .and_then(|f| f.get_index(0))
+            .expect("rule_firings[0]");
+        assert!(first
+            .get_key("duration_us")
+            .and_then(|d| d.as_number())
+            .is_some());
+        assert!(first.get_key("rule").and_then(|n| n.as_str()).is_some());
+
+        // The trace exports must themselves be valid JSON, with at least
+        // one span per fired optimizer rule.
+        let chrome = trace.to_chrome_trace();
+        let parsed = jdm::parse::parse_item(chrome.as_bytes()).expect("chrome trace parses");
+        let events = parsed.get_key("traceEvents").expect("traceEvents array");
+        let rule_spans = trace.events().iter().filter(|e| e.cat == "rule").count();
+        assert_eq!(rule_spans, r.rule_firings.len());
+        assert_eq!(
+            events
+                .get_index(0)
+                .and_then(|e| e.get_key("ph"))
+                .and_then(|p| p.as_str()),
+            Some("X")
+        );
+        for line in trace.to_json_lines().lines() {
+            jdm::parse::parse_item(line.as_bytes()).expect("each trace line is valid JSON");
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Vendored, dependency-free subset of the `criterion` API.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the surface the workspace's benches use — `Criterion`,
+//! `benchmark_group` with `sample_size` / `warm_up_time` /
+//! `measurement_time` / `throughput` / `bench_function` / `finish`,
+//! `Bencher::iter`, and the `criterion_group!` / `criterion_main!`
+//! macros — backed by a simple wall-clock harness that warms up, takes
+//! `sample_size` samples, and prints mean/min/max per benchmark (plus
+//! throughput when configured).
+
+use std::time::{Duration, Instant};
+
+pub mod measurement {
+    /// Marker trait; only wall-time measurement exists here.
+    pub trait Measurement {}
+
+    pub struct WallTime;
+    impl Measurement for WallTime {}
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+            throughput: None,
+            _criterion: std::marker::PhantomData,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.into();
+        let mut g = self.benchmark_group(name.clone());
+        g.bench_function(name, f);
+        g.finish();
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a, M: measurement::Measurement> {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _criterion: std::marker::PhantomData<(&'a (), M)>,
+}
+
+impl<M: measurement::Measurement> BenchmarkGroup<'_, M> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::default();
+
+        // Warm-up: run until the warm-up budget is spent.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up_time {
+            f(&mut b);
+        }
+
+        // Sampling: spread the measurement budget over sample_size samples.
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let budget_per_sample = self.measurement_time / self.sample_size as u32;
+        for _ in 0..self.sample_size {
+            b.elapsed = Duration::ZERO;
+            b.iters = 0;
+            let start = Instant::now();
+            while start.elapsed() < budget_per_sample || b.iters == 0 {
+                f(&mut b);
+            }
+            if b.iters > 0 {
+                samples.push(b.elapsed / b.iters as u32);
+            }
+        }
+        samples.sort();
+        let mean = samples.iter().sum::<Duration>() / samples.len().max(1) as u32;
+        let (min, max) = (
+            samples.first().copied().unwrap_or_default(),
+            samples.last().copied().unwrap_or_default(),
+        );
+        let mut line = format!(
+            "{}/{}: mean {:?} (min {:?}, max {:?}, {} samples)",
+            self.name,
+            id,
+            mean,
+            min,
+            max,
+            samples.len()
+        );
+        if let Some(t) = self.throughput {
+            let per_sec = |units: u64| {
+                if mean.is_zero() {
+                    0.0
+                } else {
+                    units as f64 / mean.as_secs_f64()
+                }
+            };
+            match t {
+                Throughput::Bytes(n) => {
+                    line.push_str(&format!(" — {:.1} MiB/s", per_sec(n) / (1024.0 * 1024.0)));
+                }
+                Throughput::Elements(n) => {
+                    line.push_str(&format!(" — {:.0} elem/s", per_sec(n)));
+                }
+            }
+        }
+        println!("{line}");
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark closure; accumulates timed iterations.
+#[derive(Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let out = f();
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+        std::hint::black_box(out);
+    }
+}
+
+/// Prevent the optimizer from eliding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(6));
+        let mut calls = 0u64;
+        g.bench_function("spin", |b| {
+            b.iter(|| {
+                calls += 1;
+                std::hint::black_box(calls)
+            })
+        });
+        g.finish();
+        assert!(calls > 0, "benchmark body must have run");
+    }
+}

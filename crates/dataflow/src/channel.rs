@@ -1,0 +1,131 @@
+//! Bounded/unbounded MPSC channels over `std::sync::mpsc`.
+//!
+//! The cluster originally used `crossbeam::channel`; this module provides
+//! the small surface the runtime needs (clonable senders, blocking bounded
+//! sends for backpressure, receiver iteration ending at sender drop) with
+//! no external dependency. A single [`Sender`] type covers both flavours
+//! so exchange code is generic over boundedness.
+
+use std::sync::mpsc;
+
+/// Clonable sending half; bounded sends block when the buffer is full.
+pub enum Sender<T> {
+    Bounded(mpsc::SyncSender<T>),
+    Unbounded(mpsc::Sender<T>),
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        match self {
+            Sender::Bounded(tx) => Sender::Bounded(tx.clone()),
+            Sender::Unbounded(tx) => Sender::Unbounded(tx.clone()),
+        }
+    }
+}
+
+/// Error returned when the receiving half has been dropped.
+#[derive(Debug)]
+pub struct SendError<T>(pub T);
+
+impl<T> Sender<T> {
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        match self {
+            Sender::Bounded(tx) => tx.send(value).map_err(|e| SendError(e.0)),
+            Sender::Unbounded(tx) => tx.send(value).map_err(|e| SendError(e.0)),
+        }
+    }
+}
+
+/// Receiving half; iteration ends once every sender is dropped.
+pub struct Receiver<T> {
+    rx: mpsc::Receiver<T>,
+}
+
+impl<T> Receiver<T> {
+    pub fn recv(&self) -> Result<T, mpsc::RecvError> {
+        self.rx.recv()
+    }
+
+    pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+        self.rx.try_recv()
+    }
+
+    pub fn iter(&self) -> mpsc::Iter<'_, T> {
+        self.rx.iter()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = mpsc::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.rx.iter()
+    }
+}
+
+impl<T> IntoIterator for Receiver<T> {
+    type Item = T;
+    type IntoIter = mpsc::IntoIter<T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.rx.into_iter()
+    }
+}
+
+/// Channel with an at-most-`cap` frame buffer (backpressure).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::sync_channel(cap);
+    (Sender::Bounded(tx), Receiver { rx })
+}
+
+/// Channel with an unbounded buffer.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (Sender::Unbounded(tx), Receiver { rx })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_round_trip_and_eos() {
+        let (tx, rx) = bounded::<u32>(2);
+        let tx2 = tx.clone();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..10 {
+                    tx.send(i).unwrap();
+                }
+            });
+            s.spawn(move || {
+                for i in 10..20 {
+                    tx2.send(i).unwrap();
+                }
+            });
+            let mut got: Vec<u32> = rx.iter().collect();
+            got.sort();
+            assert_eq!(got, (0..20).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drop() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_drained() {
+        let (tx, rx) = bounded::<u8>(1);
+        tx.send(0).unwrap();
+        let t = std::thread::spawn(move || {
+            tx.send(1).unwrap(); // blocks until the receiver drains one
+            "sent"
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert_eq!(rx.recv().unwrap(), 0);
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(t.join().unwrap(), "sent");
+    }
+}

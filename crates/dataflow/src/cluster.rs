@@ -7,19 +7,20 @@
 //! and scheduling code paths are identical to the multi-machine case — the
 //! only thing the simulation removes is the physical wire.
 
+use crate::channel::{bounded, Receiver, Sender};
 use crate::context::{CoreGate, TaskContext};
 use crate::error::{DataflowError, Result};
 use crate::exchange::{HashPartitionSender, MergeSender, OneToOneSender};
 use crate::frame::{Frame, DEFAULT_FRAME_SIZE};
 use crate::job::{Connector, JobSpec, Parallelism, StageId, StageKind};
 use crate::ops::{run_source, BoxWriter, CollectorWriter};
+use crate::profile::Profiler;
 use crate::stats::{Counters, JobStats, MemTracker};
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crate::trace::TraceBuffer;
 use jdm::binary::ItemRef;
 use jdm::Item;
-use parking_lot::Mutex;
 use std::sync::atomic::Ordering;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Cluster shape.
@@ -115,15 +116,18 @@ impl Cluster {
 
     fn make_ctx(
         &self,
+        stage: StageId,
         partition: usize,
         num_partitions: usize,
         counters: &Arc<Counters>,
+        profiler: &Arc<Profiler>,
     ) -> TaskContext {
         let node = partition
             .checked_div(self.spec.partitions_per_node)
             .unwrap_or(0)
             .min(self.spec.nodes - 1);
         TaskContext {
+            stage,
             partition,
             num_partitions,
             node,
@@ -132,14 +136,28 @@ impl Cluster {
             mem: self.mem.clone(),
             counters: counters.clone(),
             gate: self.gates[node].clone(),
+            profiler: Some(profiler.clone()),
         }
     }
 
     /// Execute `job` and return the decoded result rows plus statistics.
     pub fn run(&self, job: &JobSpec) -> Result<(Rows, JobStats)> {
+        self.run_observed(job, None)
+    }
+
+    /// Execute `job`, optionally recording per-stage execution spans into
+    /// a trace buffer. Per-operator profiling is always on (frame-granular
+    /// atomics; see [`crate::profile`]) and lands in
+    /// [`JobStats::profile`].
+    pub fn run_observed(
+        &self,
+        job: &JobSpec,
+        trace: Option<&Arc<TraceBuffer>>,
+    ) -> Result<(Rows, JobStats)> {
         job.validate()?;
         let terminal = job.terminal()?;
         let counters = Counters::new();
+        let profiler = Profiler::new();
         self.mem.reset();
 
         // Each stage has at most one consumer edge in our plans; find it.
@@ -190,7 +208,7 @@ impl Cluster {
             for id in 0..nstages {
                 let parts = self.stage_partitions(job, id);
                 for p in 0..parts {
-                    let ctx = self.make_ctx(p, parts, &counters);
+                    let ctx = self.make_ctx(id, p, parts, &counters, &profiler);
                     // Output writer: collector for the terminal stage,
                     // connector sender otherwise.
                     let out: BoxWriter = if id == terminal {
@@ -214,6 +232,10 @@ impl Cluster {
                             }
                         }
                     };
+                    // Probe the chain tail (sender / collector) first;
+                    // chain factories wrap their own operators on top, so
+                    // registration order is tail-first within a task.
+                    let out = ctx.instrument(out);
 
                     // Input receivers for this partition.
                     let my_rxs: Vec<Receiver<Frame>> = rxs[id]
@@ -223,15 +245,35 @@ impl Cluster {
 
                     let stage = &job.stages[id];
                     let err_slot = first_error.clone();
+                    let task_trace = trace.cloned();
                     scope.spawn(move || {
+                        let span_start = task_trace.as_ref().map(|t| t.now_us());
                         let timer = crate::cputime::TaskTimer::start();
                         let r = run_task(stage, &ctx, my_rxs, out);
+                        let cpu = timer.elapsed();
+                        if let (Some(t), Some(start)) = (&task_trace, span_start) {
+                            t.span_from(
+                                format!("stage {id}"),
+                                "execute",
+                                start,
+                                ctx.node as u32,
+                                ctx.partition as u32,
+                                vec![
+                                    ("stage", crate::trace::ArgValue::Int(id as i64)),
+                                    (
+                                        "cpu_us",
+                                        crate::trace::ArgValue::Int(cpu.as_micros() as i64),
+                                    ),
+                                ],
+                            );
+                        }
                         ctx.counters
                             .task_cpu
                             .lock()
-                            .push((ctx.node, timer.elapsed()));
+                            .expect("task_cpu lock")
+                            .push((ctx.node, cpu));
                         if let Err(e) = r {
-                            let mut slot = err_slot.lock();
+                            let mut slot = err_slot.lock().expect("error slot lock");
                             if slot.is_none() {
                                 *slot = Some(e);
                             }
@@ -269,7 +311,7 @@ impl Cluster {
                 }
             }
             if let Some(e) = decode_err {
-                let mut slot = first_error.lock();
+                let mut slot = first_error.lock().expect("error slot lock");
                 if slot.is_none() {
                     *slot = Some(e);
                 }
@@ -277,12 +319,12 @@ impl Cluster {
             Ok::<Rows, DataflowError>(rows)
         })
         .and_then(|rows| {
-            if let Some(e) = first_error.lock().take() {
+            if let Some(e) = first_error.lock().expect("error slot lock").take() {
                 return Err(e);
             }
             // Simulated cluster time: per-node makespans from task CPU
             // times (see crate::cputime for the model).
-            let task_cpu = counters.task_cpu.lock();
+            let task_cpu = counters.task_cpu.lock().expect("task_cpu lock");
             let mut per_node: Vec<Vec<std::time::Duration>> = vec![Vec::new(); self.spec.nodes];
             let mut cpu_total = std::time::Duration::ZERO;
             for (node, d) in task_cpu.iter() {
@@ -311,6 +353,7 @@ impl Cluster {
                 frames_shipped: counters.frames_shipped.load(Ordering::Relaxed) as usize,
                 result_tuples: rows.len(),
                 bytes_scanned: counters.bytes_scanned.load(Ordering::Relaxed) as usize,
+                profile: profiler.finish(),
             };
             Ok((rows, stats))
         })
@@ -341,6 +384,9 @@ fn run_task(
         }
         StageKind::Join { factory, .. } => {
             let mut op = factory.create(ctx, out)?;
+            if let Some(p) = &ctx.profiler {
+                op = p.instrument_two_input(ctx.stage, ctx.partition, op);
+            }
             let probe_rx = inputs.pop().expect("join stage probe input");
             let build_rx = inputs.pop().expect("join stage build input");
             op.open()?;

@@ -1,10 +1,11 @@
 //! Per-task execution context and the per-node core gate.
 
+use crate::ops::BoxWriter;
+use crate::profile::Profiler;
 use crate::stats::{Counters, MemTracker};
-use parking_lot::{Condvar, Mutex};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 
-/// Counting semaphore (parking_lot-based) used to model per-node CPU cores.
+/// Counting semaphore used to model per-node CPU cores.
 pub struct Semaphore {
     permits: Mutex<usize>,
     cv: Condvar,
@@ -19,9 +20,9 @@ impl Semaphore {
     }
 
     pub fn acquire(self: &Arc<Self>) -> SemaphoreGuard {
-        let mut p = self.permits.lock();
+        let mut p = self.permits.lock().expect("semaphore lock");
         while *p == 0 {
-            self.cv.wait(&mut p);
+            p = self.cv.wait(p).expect("semaphore wait");
         }
         *p -= 1;
         SemaphoreGuard { sem: self.clone() }
@@ -35,7 +36,7 @@ pub struct SemaphoreGuard {
 
 impl Drop for SemaphoreGuard {
     fn drop(&mut self) {
-        let mut p = self.sem.permits.lock();
+        let mut p = self.sem.permits.lock().expect("semaphore lock");
         *p += 1;
         self.sem.cv.notify_one();
     }
@@ -78,6 +79,8 @@ impl CoreGate {
 /// Everything a worker task needs to know about its placement.
 #[derive(Clone)]
 pub struct TaskContext {
+    /// Stage this task belongs to.
+    pub stage: usize,
     /// Global partition index of this task.
     pub partition: usize,
     /// Total partitions of this task's stage.
@@ -94,12 +97,24 @@ pub struct TaskContext {
     pub counters: Arc<Counters>,
     /// CPU gate of this task's node.
     pub gate: CoreGate,
+    /// Per-run operator profiler; chain factories wrap each operator they
+    /// build via [`TaskContext::instrument`].
+    pub profiler: Option<Arc<Profiler>>,
 }
 
 impl TaskContext {
     /// Which node hosts global partition `p` (full-parallelism stages).
     pub fn node_of(&self, p: usize) -> usize {
         p.checked_div(self.partitions_per_node).unwrap_or(0)
+    }
+
+    /// Wrap a writer in a profiling probe registered under this task's
+    /// stage and partition. No-op when profiling is off.
+    pub fn instrument(&self, writer: BoxWriter) -> BoxWriter {
+        match &self.profiler {
+            Some(p) => p.instrument(self.stage, self.partition, writer),
+            None => writer,
+        }
     }
 }
 
@@ -138,6 +153,7 @@ mod tests {
     #[test]
     fn node_mapping() {
         let ctx = TaskContext {
+            stage: 0,
             partition: 5,
             num_partitions: 8,
             node: 1,
@@ -146,6 +162,7 @@ mod tests {
             mem: MemTracker::new(),
             counters: Counters::new(),
             gate: CoreGate::unlimited(),
+            profiler: None,
         };
         assert_eq!(ctx.node_of(0), 0);
         assert_eq!(ctx.node_of(3), 0);

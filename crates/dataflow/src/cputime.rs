@@ -20,17 +20,46 @@
 
 use std::time::Duration;
 
+#[cfg(unix)]
+mod sys {
+    //! Minimal libc binding for `clock_gettime(CLOCK_THREAD_CPUTIME_ID)`,
+    //! declared locally to keep the crate dependency-free.
+
+    #[repr(C)]
+    pub struct Timespec {
+        pub tv_sec: i64,
+        pub tv_nsec: i64,
+    }
+
+    pub const CLOCK_THREAD_CPUTIME_ID: i32 = 3;
+
+    extern "C" {
+        pub fn clock_gettime(clockid: i32, tp: *mut Timespec) -> i32;
+    }
+}
+
 /// CPU time consumed by the calling thread.
+#[cfg(unix)]
 pub fn thread_cpu_time() -> Duration {
-    let mut ts = libc::timespec {
+    let mut ts = sys::Timespec {
         tv_sec: 0,
         tv_nsec: 0,
     };
     // SAFETY: CLOCK_THREAD_CPUTIME_ID with a valid out-pointer; the call
     // cannot fail with these arguments on Linux.
-    let rc = unsafe { libc::clock_gettime(libc::CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+    let rc = unsafe { sys::clock_gettime(sys::CLOCK_THREAD_CPUTIME_ID, &mut ts) };
     debug_assert_eq!(rc, 0, "clock_gettime(CLOCK_THREAD_CPUTIME_ID) failed");
     Duration::new(ts.tv_sec as u64, ts.tv_nsec as u32)
+}
+
+/// Fallback for non-unix hosts: wall time of the calling thread. Blocking
+/// then counts as work, so simulated makespans are pessimistic there.
+#[cfg(not(unix))]
+pub fn thread_cpu_time() -> Duration {
+    use std::time::SystemTime;
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .unwrap_or_default()
 }
 
 /// Stopwatch for one worker task.

@@ -14,11 +14,11 @@
 //! All senders count shipped frames, and bytes crossing a node boundary
 //! count as network traffic.
 
+use crate::channel::Sender;
 use crate::context::TaskContext;
 use crate::error::{DataflowError, Result};
 use crate::frame::{Frame, FrameAppender};
 use crate::ops::FrameWriter;
-use crossbeam::channel::Sender;
 use std::sync::atomic::Ordering;
 
 /// Stable 64-bit FNV-1a over serialized item bytes. Because items are
@@ -64,6 +64,10 @@ impl OneToOneSender {
 }
 
 impl FrameWriter for OneToOneSender {
+    fn name(&self) -> &'static str {
+        "EXCHANGE-1:1"
+    }
+
     fn open(&mut self) -> Result<()> {
         Ok(())
     }
@@ -107,6 +111,10 @@ impl HashPartitionSender {
 }
 
 impl FrameWriter for HashPartitionSender {
+    fn name(&self) -> &'static str {
+        "EXCHANGE-HASH"
+    }
+
     fn open(&mut self) -> Result<()> {
         Ok(())
     }
@@ -156,6 +164,10 @@ impl MergeSender {
 }
 
 impl FrameWriter for MergeSender {
+    fn name(&self) -> &'static str {
+        "EXCHANGE-MERGE"
+    }
+
     fn open(&mut self) -> Result<()> {
         Ok(())
     }
@@ -211,6 +223,7 @@ mod sender_tests {
 
     fn ctx(partition: usize, ppn: usize) -> TaskContext {
         TaskContext {
+            stage: 0,
             partition,
             num_partitions: 4,
             node: partition / ppn.max(1),
@@ -219,6 +232,7 @@ mod sender_tests {
             mem: MemTracker::new(),
             counters: Counters::new(),
             gate: CoreGate::unlimited(),
+            profiler: None,
         }
     }
 
@@ -231,7 +245,7 @@ mod sender_tests {
     #[test]
     fn one_to_one_delivers_to_same_partition() {
         let c = ctx(1, 2);
-        let (tx, rx) = crossbeam::channel::unbounded();
+        let (tx, rx) = crate::channel::unbounded();
         let mut s = OneToOneSender::new(c.clone(), tx);
         s.open().unwrap();
         s.next_frame(&one_tuple_frame(b"abc")).unwrap();
@@ -244,8 +258,7 @@ mod sender_tests {
     #[test]
     fn hash_sender_routes_equal_keys_together() {
         let c = ctx(0, 2);
-        let (txs, rxs): (Vec<_>, Vec<_>) =
-            (0..4).map(|_| crossbeam::channel::unbounded()).unzip();
+        let (txs, rxs): (Vec<_>, Vec<_>) = (0..4).map(|_| crate::channel::unbounded()).unzip();
         let mut s = HashPartitionSender::new(c, vec![0], txs);
         s.open().unwrap();
         // Send the same key twice and a different key once.
@@ -268,7 +281,10 @@ mod sender_tests {
             .filter(|&i| by_dst[i].iter().any(|t| t == b"key-a"))
             .collect();
         assert_eq!(with_a.len(), 1, "{by_dst:?}");
-        assert_eq!(by_dst[with_a[0]].iter().filter(|t| *t == b"key-a").count(), 2);
+        assert_eq!(
+            by_dst[with_a[0]].iter().filter(|t| *t == b"key-a").count(),
+            2
+        );
         let total: usize = by_dst.iter().map(Vec::len).sum();
         assert_eq!(total, 3);
     }
@@ -276,16 +292,25 @@ mod sender_tests {
     #[test]
     fn cross_node_traffic_is_counted() {
         let c = ctx(0, 1); // node 0
-        let (txs, _rxs): (Vec<_>, Vec<_>) =
-            (0..2).map(|_| crossbeam::channel::unbounded()).unzip();
+        let (txs, _rxs): (Vec<_>, Vec<_>) = (0..2).map(|_| crate::channel::unbounded()).unzip();
         let counters = c.counters.clone();
         let mut s = MergeSender::new(c, txs[0].clone());
         s.open().unwrap();
         s.next_frame(&one_tuple_frame(b"x")).unwrap();
         s.close().unwrap();
         // Merge target is partition 0 = same node here: local, no bytes.
-        assert_eq!(counters.network_bytes.load(std::sync::atomic::Ordering::Relaxed), 0);
-        assert_eq!(counters.frames_shipped.load(std::sync::atomic::Ordering::Relaxed), 1);
+        assert_eq!(
+            counters
+                .network_bytes
+                .load(std::sync::atomic::Ordering::Relaxed),
+            0
+        );
+        assert_eq!(
+            counters
+                .frames_shipped
+                .load(std::sync::atomic::Ordering::Relaxed),
+            1
+        );
 
         // From node 1, the same merge crosses a node boundary.
         let c2 = ctx(1, 1);
@@ -294,6 +319,11 @@ mod sender_tests {
         s2.open().unwrap();
         s2.next_frame(&one_tuple_frame(b"x")).unwrap();
         s2.close().unwrap();
-        assert!(counters2.network_bytes.load(std::sync::atomic::Ordering::Relaxed) > 0);
+        assert!(
+            counters2
+                .network_bytes
+                .load(std::sync::atomic::Ordering::Relaxed)
+                > 0
+        );
     }
 }

@@ -71,6 +71,10 @@ pub trait TwoInputOp: Send {
     }
     fn probe_frame(&mut self, frame: &Frame) -> Result<()>;
     fn close(&mut self) -> Result<()>;
+    /// Operator name shown in profiles and EXPLAIN ANALYZE output.
+    fn name(&self) -> &'static str {
+        "JOIN"
+    }
 }
 
 /// Builds the two-input operator of a join stage.

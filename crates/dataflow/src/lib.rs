@@ -23,7 +23,13 @@
 //!   like the paper's hyper-threading experiment (Fig. 17).
 //! * [`stats`] — memory and network accounting (peak materialized bytes,
 //!   bytes crossing node boundaries), used by the Table-3 reproduction.
+//! * [`profile`] — always-on per-operator metrics (tuples/frames/bytes
+//!   in and out, busy and emit-stall time) collected by interleaved
+//!   probes, aggregated into a [`profile::JobProfile`].
+//! * [`trace`] — bounded ring buffer of query-lifecycle spans, exportable
+//!   as JSON lines or a Chrome trace-event file.
 
+pub mod channel;
 pub mod cluster;
 pub mod context;
 pub mod cputime;
@@ -32,7 +38,9 @@ pub mod exchange;
 pub mod frame;
 pub mod job;
 pub mod ops;
+pub mod profile;
 pub mod stats;
+pub mod trace;
 
 pub use cluster::{Cluster, ClusterSpec, Rows};
 pub use context::{CoreGate, TaskContext};
@@ -42,4 +50,6 @@ pub use job::{
     Connector, IdentityPipe, JobSpec, Parallelism, PipeFactory, Stage, StageId, StageInput,
     StageKind, TwoInputFactory, TwoInputOp,
 };
+pub use profile::{JobProfile, OpProfile, OpSummary, Profiler};
 pub use stats::{JobStats, MemTracker};
+pub use trace::{ArgValue, TraceBuffer, TraceEvent};

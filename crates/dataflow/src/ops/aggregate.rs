@@ -28,6 +28,10 @@ impl AggregateOp {
 }
 
 impl FrameWriter for AggregateOp {
+    fn name(&self) -> &'static str {
+        "AGGREGATE"
+    }
+
     fn open(&mut self) -> Result<()> {
         self.out.open()
     }

@@ -28,6 +28,10 @@ impl AssignOp {
 }
 
 impl FrameWriter for AssignOp {
+    fn name(&self) -> &'static str {
+        "ASSIGN"
+    }
+
     fn open(&mut self) -> Result<()> {
         self.out.open()
     }

@@ -74,6 +74,10 @@ impl HashGroupByOp {
 }
 
 impl FrameWriter for HashGroupByOp {
+    fn name(&self) -> &'static str {
+        "HASH-GROUP-BY"
+    }
+
     fn open(&mut self) -> Result<()> {
         self.out.open()
     }
@@ -141,6 +145,10 @@ impl MaterializingGroupByOp {
 }
 
 impl FrameWriter for MaterializingGroupByOp {
+    fn name(&self) -> &'static str {
+        "MAT-GROUP-BY"
+    }
+
     fn open(&mut self) -> Result<()> {
         self.out.open()
     }

@@ -80,6 +80,10 @@ impl HashJoinOp {
 }
 
 impl FrameWriter for HashJoinOp {
+    fn name(&self) -> &'static str {
+        "HASH-JOIN"
+    }
+
     fn open(&mut self) -> Result<()> {
         self.out.open()
     }
@@ -99,6 +103,10 @@ impl FrameWriter for HashJoinOp {
 }
 
 impl crate::job::TwoInputOp for HashJoinOp {
+    fn name(&self) -> &'static str {
+        "HASH-JOIN"
+    }
+
     fn open(&mut self) -> Result<()> {
         FrameWriter::open(self)
     }

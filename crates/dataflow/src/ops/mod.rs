@@ -47,6 +47,10 @@ pub trait FrameWriter: Send {
     /// Called once after the last frame; operators flush pending output
     /// and close their downstream here.
     fn close(&mut self) -> Result<()>;
+    /// Operator name shown in profiles and EXPLAIN ANALYZE output.
+    fn name(&self) -> &'static str {
+        "OP"
+    }
 }
 
 /// Boxed writer alias used throughout the job layer.
@@ -129,6 +133,9 @@ impl FrameWriter for NullWriter {
     }
     fn close(&mut self) -> Result<()> {
         Ok(())
+    }
+    fn name(&self) -> &'static str {
+        "NULL"
     }
 }
 

@@ -22,6 +22,10 @@ impl ProjectOp {
 }
 
 impl FrameWriter for ProjectOp {
+    fn name(&self) -> &'static str {
+        "PROJECT"
+    }
+
     fn open(&mut self) -> Result<()> {
         self.out.open()
     }

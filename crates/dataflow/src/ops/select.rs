@@ -27,6 +27,10 @@ impl SelectOp {
 }
 
 impl FrameWriter for SelectOp {
+    fn name(&self) -> &'static str {
+        "SELECT"
+    }
+
     fn open(&mut self) -> Result<()> {
         self.out.open()
     }

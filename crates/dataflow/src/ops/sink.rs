@@ -1,9 +1,9 @@
 //! Result sink: ships final frames to the coordinator thread.
 
 use super::FrameWriter;
+use crate::channel::Sender;
 use crate::error::{DataflowError, Result};
 use crate::frame::Frame;
-use crossbeam::channel::Sender;
 
 /// Terminal writer of a job: forwards result frames over a channel to the
 /// coordinator (the paper's "distribution of each object" final step).
@@ -18,6 +18,10 @@ impl CollectorWriter {
 }
 
 impl FrameWriter for CollectorWriter {
+    fn name(&self) -> &'static str {
+        "SINK"
+    }
+
     fn open(&mut self) -> Result<()> {
         Ok(())
     }

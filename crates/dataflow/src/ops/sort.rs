@@ -39,6 +39,10 @@ impl SortOp {
 }
 
 impl FrameWriter for SortOp {
+    fn name(&self) -> &'static str {
+        "SORT"
+    }
+
     fn open(&mut self) -> Result<()> {
         self.out.open()
     }

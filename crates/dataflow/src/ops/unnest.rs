@@ -27,6 +27,10 @@ impl UnnestOp {
 }
 
 impl FrameWriter for UnnestOp {
+    fn name(&self) -> &'static str {
+        "UNNEST"
+    }
+
     fn open(&mut self) -> Result<()> {
         self.out.open()
     }

@@ -43,9 +43,20 @@ impl MemTracker {
         budget == 0 || now <= budget
     }
 
-    /// Record a release.
+    /// Record a release. Saturates at zero: a double-free or an over-free
+    /// must never wrap the counter and report petabyte peaks. Debug builds
+    /// assert so the offending operator is caught in tests.
     pub fn free(&self, bytes: usize) {
-        self.current.fetch_sub(bytes as u64, Ordering::Relaxed);
+        let prev = self
+            .current
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                Some(cur.saturating_sub(bytes as u64))
+            })
+            .expect("fetch_update with Some never fails");
+        debug_assert!(
+            prev >= bytes as u64,
+            "MemTracker::free({bytes}) exceeds current {prev}: double-free or unmatched free"
+        );
     }
 
     /// Bytes currently accounted.
@@ -125,6 +136,8 @@ pub struct JobStats {
     pub result_tuples: usize,
     /// Raw bytes read by scan sources.
     pub bytes_scanned: usize,
+    /// Per-operator metrics (always collected; see [`crate::profile`]).
+    pub profile: crate::profile::JobProfile,
 }
 
 /// Shared mutable counters the runtime updates during execution.
@@ -134,7 +147,7 @@ pub struct Counters {
     pub frames_shipped: AtomicU64,
     pub bytes_scanned: AtomicU64,
     /// `(node, task cpu time)` per finished worker task.
-    pub task_cpu: parking_lot::Mutex<Vec<(usize, std::time::Duration)>>,
+    pub task_cpu: std::sync::Mutex<Vec<(usize, std::time::Duration)>>,
 }
 
 impl Counters {
@@ -156,6 +169,25 @@ mod tests {
         t.alloc(10);
         assert_eq!(t.current(), 40);
         assert_eq!(t.peak(), 150);
+    }
+
+    #[test]
+    fn overfree_saturates_instead_of_wrapping() {
+        let t = MemTracker::new();
+        t.alloc(10);
+        let result = std::panic::catch_unwind({
+            let t = t.clone();
+            move || t.free(20)
+        });
+        if cfg!(debug_assertions) {
+            assert!(result.is_err(), "debug builds must flag the over-free");
+        } else {
+            assert!(result.is_ok());
+        }
+        assert_eq!(t.current(), 0, "counter must saturate, not wrap");
+        t.alloc(5);
+        assert_eq!(t.current(), 5);
+        assert!(t.peak() < 1 << 40, "peak must not report wrapped values");
     }
 
     #[test]

@@ -1,0 +1,364 @@
+//! Structured query-lifecycle tracing.
+//!
+//! A [`TraceBuffer`] is a bounded ring of timestamped spans covering the
+//! whole life of a query — parse, translate, every optimizer rule firing,
+//! compile, and per-stage execution. The engine layer records into it;
+//! exports are line-delimited JSON ([`TraceBuffer::to_json_lines`]) and
+//! the Chrome trace-event format ([`TraceBuffer::to_chrome_trace`], load
+//! via `chrome://tracing` or <https://ui.perfetto.dev>).
+//!
+//! JSON is emitted by hand (no serde in the dependency tree); strings go
+//! through [`escape_json`].
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Value of a span argument.
+#[derive(Debug, Clone)]
+pub enum ArgValue {
+    Int(i64),
+    Str(String),
+}
+
+impl From<i64> for ArgValue {
+    fn from(v: i64) -> Self {
+        ArgValue::Int(v)
+    }
+}
+
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::Int(v as i64)
+    }
+}
+
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+/// One completed span (Chrome "X" event).
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    pub name: String,
+    /// Category: `lifecycle`, `rule`, `execute`, …
+    pub cat: &'static str,
+    /// Microseconds since the buffer was created.
+    pub ts_us: u64,
+    pub dur_us: u64,
+    /// Node id (Chrome: process id).
+    pub pid: u32,
+    /// Partition id (Chrome: thread id); coordinator work uses 0.
+    pub tid: u32,
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+/// Bounded ring buffer of trace events. Thread-safe; overflow drops the
+/// oldest events and counts them.
+pub struct TraceBuffer {
+    epoch: Instant,
+    capacity: usize,
+    events: Mutex<VecDeque<TraceEvent>>,
+    dropped: AtomicU64,
+}
+
+impl Default for TraceBuffer {
+    fn default() -> Self {
+        TraceBuffer::with_capacity(4096)
+    }
+}
+
+impl TraceBuffer {
+    pub fn new() -> Self {
+        TraceBuffer::default()
+    }
+
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceBuffer {
+            epoch: Instant::now(),
+            capacity: capacity.max(1),
+            events: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Microseconds since buffer creation.
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    pub fn push(&self, event: TraceEvent) {
+        let mut q = self.events.lock().expect("trace lock");
+        if q.len() == self.capacity {
+            q.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        q.push_back(event);
+    }
+
+    /// Record a completed span that started at `start_us`.
+    pub fn span_from(
+        &self,
+        name: impl Into<String>,
+        cat: &'static str,
+        start_us: u64,
+        pid: u32,
+        tid: u32,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        self.push(TraceEvent {
+            name: name.into(),
+            cat,
+            ts_us: start_us,
+            dur_us: self.now_us().saturating_sub(start_us),
+            pid,
+            tid,
+            args,
+        });
+    }
+
+    /// Start an RAII span on the coordinator (pid 0 / tid 0).
+    pub fn span<'a>(&'a self, name: &str, cat: &'static str) -> SpanGuard<'a> {
+        SpanGuard {
+            buf: self,
+            name: name.to_string(),
+            cat,
+            start_us: self.now_us(),
+            pid: 0,
+            tid: 0,
+            args: Vec::new(),
+        }
+    }
+
+    /// Record an instantaneous event.
+    pub fn event(&self, name: &str, cat: &'static str, args: Vec<(&'static str, ArgValue)>) {
+        let ts = self.now_us();
+        self.push(TraceEvent {
+            name: name.to_string(),
+            cat,
+            ts_us: ts,
+            dur_us: 0,
+            pid: 0,
+            tid: 0,
+            args,
+        });
+    }
+
+    /// Events dropped to the ring bound so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("trace lock").len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the buffered events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events
+            .lock()
+            .expect("trace lock")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// One JSON object per line.
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for e in self.events() {
+            write_event_json(&mut out, &e);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The Chrome trace-event file format: a single JSON object with a
+    /// `traceEvents` array of phase-"X" (complete) events.
+    pub fn to_chrome_trace(&self) -> String {
+        let events = self.events();
+        let mut out = String::from("{\"traceEvents\":[");
+        for (i, e) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_event_json(&mut out, e);
+        }
+        let _ = write!(
+            out,
+            "],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"dropped\":{}}}}}",
+            self.dropped()
+        );
+        out
+    }
+}
+
+fn write_event_json(out: &mut String, e: &TraceEvent) {
+    let _ = write!(
+        out,
+        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{}",
+        escape_json(&e.name),
+        escape_json(e.cat),
+        e.ts_us,
+        e.dur_us,
+        e.pid,
+        e.tid
+    );
+    if !e.args.is_empty() {
+        out.push_str(",\"args\":{");
+        for (i, (k, v)) in e.args.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":", escape_json(k));
+            match v {
+                ArgValue::Int(n) => {
+                    let _ = write!(out, "{n}");
+                }
+                ArgValue::Str(s) => {
+                    let _ = write!(out, "\"{}\"", escape_json(s));
+                }
+            }
+        }
+        out.push('}');
+    }
+    out.push('}');
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// RAII span: records a complete event on drop. Arguments can be attached
+/// while the span is open.
+pub struct SpanGuard<'a> {
+    buf: &'a TraceBuffer,
+    name: String,
+    cat: &'static str,
+    start_us: u64,
+    pid: u32,
+    tid: u32,
+    args: Vec<(&'static str, ArgValue)>,
+}
+
+impl SpanGuard<'_> {
+    pub fn with_ids(mut self, pid: u32, tid: u32) -> Self {
+        self.pid = pid;
+        self.tid = tid;
+        self
+    }
+
+    pub fn arg(&mut self, key: &'static str, value: impl Into<ArgValue>) {
+        self.args.push((key, value.into()));
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.buf.span_from(
+            std::mem::take(&mut self.name),
+            self.cat,
+            self.start_us,
+            self.pid,
+            self.tid,
+            std::mem::take(&mut self.args),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_duration_and_args() {
+        let buf = TraceBuffer::new();
+        {
+            let mut s = buf.span("parse", "lifecycle");
+            s.arg("chars", 17usize);
+            s.arg("query", "for $x in …");
+        }
+        let events = buf.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "parse");
+        assert_eq!(events[0].args.len(), 2);
+    }
+
+    #[test]
+    fn ring_bound_drops_oldest() {
+        let buf = TraceBuffer::with_capacity(3);
+        for i in 0..5 {
+            buf.event(&format!("e{i}"), "t", vec![]);
+        }
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf.dropped(), 2);
+        assert_eq!(buf.events()[0].name, "e2");
+    }
+
+    #[test]
+    fn exports_escape_and_shape() {
+        let buf = TraceBuffer::new();
+        buf.event(
+            "weird \"name\"\n",
+            "rule",
+            vec![
+                ("k", ArgValue::Str("v\\1".into())),
+                ("n", ArgValue::Int(-3)),
+            ],
+        );
+        let lines = buf.to_json_lines();
+        assert!(lines.contains("\\\"name\\\""));
+        assert!(lines.contains("\\n"));
+        assert!(lines.contains("\"n\":-3"));
+        let chrome = buf.to_chrome_trace();
+        assert!(chrome.starts_with("{\"traceEvents\":["));
+        assert!(chrome.contains("\"ph\":\"X\""));
+        assert!(chrome.ends_with('}'));
+    }
+
+    #[test]
+    fn concurrent_pushes_do_not_lose_events_below_capacity() {
+        let buf = TraceBuffer::with_capacity(10_000);
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let buf = &buf;
+                s.spawn(move || {
+                    for i in 0..100 {
+                        buf.event(&format!("t{t}-{i}"), "x", vec![]);
+                    }
+                });
+            }
+        });
+        assert_eq!(buf.len(), 800);
+        assert_eq!(buf.dropped(), 0);
+    }
+}

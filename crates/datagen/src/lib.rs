@@ -27,10 +27,11 @@
 //! Everything is deterministic per seed.
 
 use jdm::{Item, Number};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rng::StdRng;
 use std::io::Write;
 use std::path::Path;
+
+pub mod rng;
 
 /// Measurement kinds; TMIN/TMAX pair up for the self-join query.
 pub const DATA_TYPES: [&str; 4] = ["TMIN", "TMAX", "WIND", "PRCP"];
@@ -124,15 +125,15 @@ impl SensorSpec {
             let pair_kind = i % 6;
             if pair_kind < 4 && i + 1 < self.records_per_file {
                 // A TMIN record and its matching TMAX record.
-                let tmins: Vec<i64> = (0..n).map(|_| rng.gen_range(-25..20)).collect();
-                let deltas: Vec<i64> = (0..n).map(|_| rng.gen_range(3..25)).collect();
+                let tmins: Vec<i64> = (0..n).map(|_| rng.gen_range(-25i64..20)).collect();
+                let deltas: Vec<i64> = (0..n).map(|_| rng.gen_range(3i64..25)).collect();
                 records.push(self.record(&station, year, month, start_day, "TMIN", &tmins));
                 let tmaxs: Vec<i64> = tmins.iter().zip(&deltas).map(|(t, d)| t + d).collect();
                 records.push(self.record(&station, year, month, start_day, "TMAX", &tmaxs));
                 i += 2;
             } else {
                 let dt = if pair_kind == 4 { "WIND" } else { "PRCP" };
-                let vals: Vec<i64> = (0..n).map(|_| rng.gen_range(0..120)).collect();
+                let vals: Vec<i64> = (0..n).map(|_| rng.gen_range(0i64..120)).collect();
                 records.push(self.record(&station, year, month, start_day, dt, &vals));
                 i += 1;
             }

@@ -133,7 +133,10 @@ fn build_chain(
 ) -> dataflow::Result<BoxWriter> {
     let mut writer = out;
     for step in steps.iter().rev() {
-        writer = match step.clone() {
+        // Each fused operator gets its own profiling probe; `out` (the
+        // exchange sender / collector) was instrumented by the runtime, so
+        // probes sit between every pair of adjacent operators.
+        writer = ctx.instrument(match step.clone() {
             StepSpec::Assign(expr) => Box::new(AssignOp::new(
                 Box::new(ExprEval(expr)),
                 ctx.frame_size,
@@ -193,7 +196,7 @@ fn build_chain(
                 ))
             }
             StepSpec::Project(keep) => Box::new(ProjectOp::new(keep, ctx.frame_size, writer)),
-        };
+        });
     }
     Ok(writer)
 }
@@ -338,11 +341,11 @@ struct JoinChainFactory {
 impl TwoInputFactory for JoinChainFactory {
     fn create(&self, ctx: &TaskContext, out: BoxWriter) -> dataflow::Result<Box<dyn TwoInputOp>> {
         let out = match &self.residual {
-            Some(cond) => Box::new(SelectOp::new(
+            Some(cond) => ctx.instrument(Box::new(SelectOp::new(
                 Box::new(ExprEval(cond.clone())),
                 ctx.frame_size,
                 out,
-            )) as BoxWriter,
+            ))),
             None => out,
         };
         Ok(Box::new(HashJoinOp::new(

@@ -2,9 +2,11 @@
 
 use crate::compile::{compile_plan, CompileOptions};
 use crate::error::Result;
-use algebra::rules::{RuleConfig, RuleSet};
+use algebra::rules::{RuleConfig, RuleFiring, RuleSet};
 use algebra::LogicalPlan;
-use dataflow::{Cluster, ClusterSpec, JobStats, Rows};
+use dataflow::trace::ArgValue;
+use dataflow::{Cluster, ClusterSpec, JobStats, Rows, TraceBuffer};
+use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -44,6 +46,8 @@ pub struct QueryResult {
     pub plan: String,
     /// The rewrite rules that fired, in application order.
     pub applied_rules: Vec<&'static str>,
+    /// One record per rule application, with duration and plan-size delta.
+    pub rule_firings: Vec<RuleFiring>,
 }
 
 /// The JSONiq query engine: parse → translate → optimize → compile → run.
@@ -108,9 +112,63 @@ impl Engine {
 
     /// Parse, translate and optimize; returns the plan without running it.
     pub fn optimize(&self, query: &str) -> Result<(LogicalPlan, Vec<&'static str>)> {
-        let mut plan = jsoniq::compile(query)?;
-        let applied = self.rules.optimize(&mut plan);
-        Ok((plan, applied))
+        let (plan, firings) = self.optimize_traced(query, None)?;
+        Ok((plan, firings.into_iter().map(|f| f.rule).collect()))
+    }
+
+    /// Parse, translate and optimize, recording a span per phase and per
+    /// rule firing into `trace` when given.
+    pub fn optimize_traced(
+        &self,
+        query: &str,
+        trace: Option<&TraceBuffer>,
+    ) -> Result<(LogicalPlan, Vec<RuleFiring>)> {
+        let expr = {
+            let _span = trace.map(|t| {
+                let mut s = t.span("parse", "lifecycle");
+                s.arg("chars", query.len());
+                s
+            });
+            jsoniq::parser::parse(query)?
+        };
+        let mut plan = {
+            let _span = trace.map(|t| t.span("translate", "lifecycle"));
+            jsoniq::translate::translate(&expr)?
+        };
+        let opt_start = trace.map(|t| t.now_us());
+        let firings = self.rules.optimize_traced(&mut plan);
+        if let (Some(t), Some(start)) = (trace, opt_start) {
+            // One span per rule firing, laid out sequentially from the
+            // optimize start (the optimizer itself is sequential, so the
+            // recorded durations tile the phase).
+            let mut cursor = start;
+            for f in &firings {
+                let dur = f.duration.as_micros() as u64;
+                t.push(dataflow::TraceEvent {
+                    name: f.rule.to_string(),
+                    cat: "rule",
+                    ts_us: cursor,
+                    dur_us: dur,
+                    pid: 0,
+                    tid: 0,
+                    args: vec![
+                        ("round", ArgValue::Int(f.round as i64)),
+                        ("nodes_before", ArgValue::Int(f.nodes_before as i64)),
+                        ("nodes_after", ArgValue::Int(f.nodes_after as i64)),
+                    ],
+                });
+                cursor += dur;
+            }
+            t.span_from(
+                "optimize",
+                "lifecycle",
+                start,
+                0,
+                0,
+                vec![("rule_firings", ArgValue::Int(firings.len() as i64))],
+            );
+        }
+        Ok((plan, firings))
     }
 
     /// The optimized plan in textual EXPLAIN form.
@@ -126,21 +184,117 @@ impl Engine {
     /// accounting (results stay correct); use one engine per thread when
     /// per-query statistics matter.
     pub fn execute(&self, query: &str) -> Result<QueryResult> {
-        let (plan, applied_rules) = self.optimize(query)?;
-        let job = compile_plan(
-            &plan,
-            &CompileOptions {
-                data_root: self.config.data_root.clone(),
-                nodes: self.config.cluster.nodes,
-                two_step_aggregation: self.config.rules.two_step_aggregation,
-            },
-        )?;
-        let (rows, stats) = self.cluster.run(&job)?;
+        self.execute_with_trace(query, None)
+    }
+
+    /// Execute a query while recording the full lifecycle — parse,
+    /// translate, each rule firing, compile, and every stage task — into a
+    /// fresh trace buffer. The buffer exports as JSON lines or a Chrome
+    /// trace file (see [`dataflow::trace`]).
+    pub fn execute_profiled(&self, query: &str) -> Result<(QueryResult, Arc<TraceBuffer>)> {
+        let trace = Arc::new(TraceBuffer::new());
+        let result = self.execute_with_trace(query, Some(&trace))?;
+        Ok((result, trace))
+    }
+
+    fn execute_with_trace(
+        &self,
+        query: &str,
+        trace: Option<&Arc<TraceBuffer>>,
+    ) -> Result<QueryResult> {
+        let (plan, rule_firings) = self.optimize_traced(query, trace.map(Arc::as_ref))?;
+        let job = {
+            let _span = trace.map(|t| t.span("compile", "lifecycle"));
+            compile_plan(
+                &plan,
+                &CompileOptions {
+                    data_root: self.config.data_root.clone(),
+                    nodes: self.config.cluster.nodes,
+                    two_step_aggregation: self.config.rules.two_step_aggregation,
+                },
+            )?
+        };
+        let (rows, stats) = {
+            let _span = trace.map(|t| {
+                let mut s = t.span("execute", "lifecycle");
+                s.arg("stages", job.stages.len());
+                s
+            });
+            self.cluster.run_observed(&job, trace)?
+        };
         Ok(QueryResult {
             rows,
             stats,
             plan: plan.explain(),
-            applied_rules,
+            applied_rules: rule_firings.iter().map(|f| f.rule).collect(),
+            rule_firings,
         })
     }
+
+    /// `EXPLAIN ANALYZE`: execute the query and render the optimized plan
+    /// followed by the measured per-operator metrics of every stage.
+    pub fn explain_analyze(&self, query: &str) -> Result<String> {
+        let (result, _trace) = self.execute_profiled(query)?;
+        Ok(render_analysis(&result))
+    }
+}
+
+/// Render a completed [`QueryResult`] as an EXPLAIN ANALYZE report.
+pub fn render_analysis(result: &QueryResult) -> String {
+    let mut out = String::new();
+    out.push_str("== optimized plan ==\n");
+    out.push_str(result.plan.trim_end());
+    out.push('\n');
+    if !result.rule_firings.is_empty() {
+        out.push_str("\n== rule firings ==\n");
+        for f in &result.rule_firings {
+            let _ = writeln!(
+                out,
+                "round {:<2} {:<40} {:>7.1}us  nodes {} -> {}",
+                f.round,
+                f.rule,
+                f.duration.as_secs_f64() * 1e6,
+                f.nodes_before,
+                f.nodes_after
+            );
+        }
+    }
+    out.push_str("\n== runtime (per operator, summed over partitions) ==\n");
+    let _ = writeln!(
+        out,
+        "{:<5} {:<4} {:<16} {:>5} {:>12} {:>12} {:>10} {:>10} {:>12} {:>12}",
+        "stage",
+        "op",
+        "name",
+        "tasks",
+        "tuples_in",
+        "tuples_out",
+        "frames_in",
+        "frames_out",
+        "busy_us",
+        "stall_us"
+    );
+    for s in result.stats.profile.summaries() {
+        let _ = writeln!(
+            out,
+            "{:<5} {:<4} {:<16} {:>5} {:>12} {:>12} {:>10} {:>10} {:>12.1} {:>12.1}",
+            s.stage,
+            s.op_index,
+            s.name,
+            s.partitions,
+            s.tuples_in,
+            s.tuples_out,
+            s.frames_in,
+            s.frames_out,
+            s.busy.as_secs_f64() * 1e6,
+            s.emit_stall.as_secs_f64() * 1e6
+        );
+    }
+    let st = &result.stats;
+    let _ = writeln!(
+        out,
+        "\n== totals ==\nsimulated elapsed: {:?}\ncpu total: {:?}\npeak memory: {} B\nnetwork: {} B in {} frames\nresult tuples: {}",
+        st.elapsed, st.cpu_total, st.peak_memory, st.network_bytes, st.frames_shipped, st.result_tuples
+    );
+    out
 }

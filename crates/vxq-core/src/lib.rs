@@ -48,5 +48,5 @@ pub mod queries;
 pub mod rtexpr;
 pub mod scan;
 
-pub use engine::{Engine, EngineConfig, QueryResult};
+pub use engine::{render_analysis, Engine, EngineConfig, QueryResult};
 pub use error::{EngineError, Result};

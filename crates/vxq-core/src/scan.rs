@@ -355,6 +355,7 @@ mod tests {
 
     fn ctx(partition: usize, num_partitions: usize, ppn: usize) -> TaskContext {
         TaskContext {
+            stage: 0,
             partition,
             num_partitions,
             node: partition / ppn.max(1),
@@ -363,6 +364,7 @@ mod tests {
             mem: MemTracker::new(),
             counters: Counters::new(),
             gate: CoreGate::unlimited(),
+            profiler: None,
         }
     }
 
@@ -391,7 +393,10 @@ mod tests {
             seen.sort();
             let mut all = all_files(&dir, 3).unwrap();
             all.sort();
-            assert_eq!(seen, all, "cluster {nodes}x{ppn} must cover every file once");
+            assert_eq!(
+                seen, all,
+                "cluster {nodes}x{ppn} must cover every file once"
+            );
         }
         let _ = std::fs::remove_dir_all(&dir);
     }
