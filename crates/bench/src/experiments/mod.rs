@@ -22,12 +22,14 @@
 //! | ablation-twostep | (beyond the paper) two-step aggregation | [`ablation::two_step`] |
 //! | ablation-frames | (beyond the paper) frame-size sweep | [`ablation::frame_size`] |
 //! | ablation-memory | (beyond the paper) peak memory per rule config | [`ablation::memory_by_config`] |
+//! | splits-scan | (beyond the paper) intra-file split scanning | [`splits::splits`] |
 
 pub mod ablation;
 pub mod compare_cluster;
 pub mod compare_single;
 pub mod parallel;
 pub mod rules;
+pub mod splits;
 
 use crate::{Harness, Table};
 
@@ -56,6 +58,7 @@ pub const EXPERIMENTS: &[(&str, ExperimentFn)] = &[
     ("ablation-twostep", ablation::two_step),
     ("ablation-frames", ablation::frame_size),
     ("ablation-memory", ablation::memory_by_config),
+    ("splits-scan", splits::splits),
 ];
 
 /// Look up an experiment by id.

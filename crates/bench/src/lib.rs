@@ -104,11 +104,24 @@ impl Harness {
         cluster: ClusterSpec,
         rules: RuleConfig,
     ) -> Engine {
+        self.engine_with_scan(root, cluster, rules, vxq_core::ScanOptions::default())
+    }
+
+    /// Build a VXQuery engine with explicit DATASCAN split options (the
+    /// intra-file-parallelism experiment's knob).
+    pub fn engine_with_scan(
+        &self,
+        root: &std::path::Path,
+        cluster: ClusterSpec,
+        rules: RuleConfig,
+        scan: vxq_core::ScanOptions,
+    ) -> Engine {
         Engine::new(EngineConfig {
             cluster,
             rules,
             data_root: root.to_path_buf(),
             memory_budget: 0,
+            scan,
         })
     }
 

@@ -116,6 +116,14 @@ impl TaskContext {
             None => writer,
         }
     }
+
+    /// Record one scan split's runtime metrics into the job profile.
+    /// No-op when profiling is off.
+    pub fn record_split(&self, split: crate::profile::SplitProfile) {
+        if let Some(p) = &self.profiler {
+            p.record_split(split);
+        }
+    }
 }
 
 #[cfg(test)]

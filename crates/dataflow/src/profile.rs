@@ -188,11 +188,36 @@ struct ProbeRecord {
     metrics: Arc<OpMetrics>,
 }
 
+/// Runtime record of one DATASCAN split: which byte range of which file a
+/// partition scanned and what came out of it. Recorded by the scan
+/// runtimes via [`crate::context::TaskContext::record_split`]; EXPLAIN
+/// ANALYZE renders these as the per-split scan-balance section.
+#[derive(Debug, Clone)]
+pub struct SplitProfile {
+    pub stage: usize,
+    pub partition: usize,
+    /// Source file (display form).
+    pub file: String,
+    /// Split index within the file.
+    pub split: usize,
+    /// Total splits of the file.
+    pub of: usize,
+    /// Records (top-level collection members) this split covered.
+    pub records: u64,
+    /// Tuples the split emitted into the pipeline.
+    pub tuples: u64,
+    /// Bytes of the file this split was responsible for.
+    pub bytes: u64,
+    /// Wall time spent scanning the split.
+    pub elapsed: Duration,
+}
+
 /// Per-run collector of operator probes.
 #[derive(Default)]
 pub struct Profiler {
     seq: AtomicU64,
     records: Mutex<Vec<ProbeRecord>>,
+    splits: Mutex<Vec<SplitProfile>>,
 }
 
 impl Profiler {
@@ -221,6 +246,11 @@ impl Profiler {
     pub fn instrument(&self, stage: usize, partition: usize, inner: BoxWriter) -> BoxWriter {
         let metrics = self.register(stage, partition, inner.name());
         Box::new(ProfiledWriter::new(metrics, inner))
+    }
+
+    /// Record one scan split's runtime metrics.
+    pub fn record_split(&self, split: SplitProfile) {
+        self.splits.lock().expect("profiler lock").push(split);
     }
 
     /// Wrap a two-input operator in a registered probe.
@@ -288,7 +318,11 @@ impl Profiler {
             }
             i = j;
         }
-        JobProfile { ops }
+        let mut splits = self.splits.lock().expect("profiler lock").clone();
+        splits.sort_by(|a, b| {
+            (a.stage, a.partition, &a.file, a.split).cmp(&(b.stage, b.partition, &b.file, b.split))
+        });
+        JobProfile { ops, splits }
     }
 }
 
@@ -335,6 +369,9 @@ pub struct OpSummary {
 #[derive(Debug, Clone, Default)]
 pub struct JobProfile {
     pub ops: Vec<OpProfile>,
+    /// Per-split DATASCAN records (empty when the job has no file scans or
+    /// profiling was off).
+    pub splits: Vec<SplitProfile>,
 }
 
 impl JobProfile {
@@ -394,6 +431,20 @@ impl JobProfile {
             .filter(|o| o.name == name)
             .map(|o| o.tuples_out)
             .sum()
+    }
+
+    /// DATASCAN tuples per partition, summed over that partition's splits
+    /// (scan-balance view; empty when no splits were recorded).
+    pub fn scan_tuples_by_partition(&self) -> Vec<(usize, u64)> {
+        let mut out: Vec<(usize, u64)> = Vec::new();
+        for s in &self.splits {
+            match out.iter_mut().find(|(p, _)| *p == s.partition) {
+                Some((_, t)) => *t += s.tuples,
+                None => out.push((s.partition, s.tuples)),
+            }
+        }
+        out.sort_by_key(|(p, _)| *p);
+        out
     }
 }
 

@@ -1,0 +1,548 @@
+//! Structural index: a one-pass "tape" over raw JSON bytes.
+//!
+//! This is the two-stage parse used by fast JSON processors (simdjson and
+//! its descendants): stage 1 scans the bytes once, *validating* the
+//! document and recording every structural token — container open/close
+//! positions (with matching-pair pointers), key and string spans, number
+//! and literal spans — into a flat tape. Stage 2 (projection, tree
+//! building) then navigates the tape with O(1) subtree skips instead of
+//! re-scanning bytes.
+//!
+//! Two properties matter for the engine:
+//!
+//! * **Validation parity.** The builder accepts exactly the documents the
+//!   event parser ([`crate::parse::EventParser`]) accepts — same number
+//!   grammar, same string escape/surrogate/UTF-8 rules (the code is
+//!   shared), same literal spelling, same nesting-depth limit, same
+//!   "single value, no trailing bytes" contract. The differential test
+//!   suite relies on this: index-guided projection must error exactly
+//!   when a full tree parse errors, even for malformed bytes inside
+//!   subtrees the projection would skip.
+//! * **Record boundaries.** [`StructuralIndex::members`] exposes the
+//!   member spans of any array on the tape, which is what lets the scan
+//!   layer assign record-aligned byte ranges of one file to different
+//!   partitions (see `vxq-core`'s split scan).
+//!
+//! The tape is a plain `Vec` that can be recycled across documents via
+//! [`StructuralIndex::build_reusing`] / [`StructuralIndex::into_tape`]
+//! (the scan layer pools tapes to avoid per-file allocation).
+
+use crate::error::{JdmError, Result};
+use crate::item::Item;
+use crate::number::Number;
+use crate::parse::{number_at, parse_string_at, scan_number_at};
+use crate::parse::{Event, EventParser, TreeBuilder, MAX_DEPTH};
+use std::borrow::Cow;
+
+/// Kind of one tape node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TapeKind {
+    /// `{` — `pair` points at the matching [`TapeKind::ObjectClose`].
+    ObjectOpen,
+    /// `}` — `pair` points back at the open entry.
+    ObjectClose,
+    /// `[` — `pair` points at the matching [`TapeKind::ArrayClose`].
+    ArrayOpen,
+    /// `]` — `pair` points back at the open entry.
+    ArrayClose,
+    /// An object key (quoted span; always immediately followed by its
+    /// value's entries).
+    Key,
+    /// A string value (quoted span).
+    String,
+    /// A number value.
+    Number,
+    /// `true` / `false` (first byte disambiguates).
+    Bool,
+    /// `null`.
+    Null,
+}
+
+/// One tape node. `start..end` is the byte span of the token — for
+/// container opens the span covers the *whole value* through its closing
+/// bracket, so slicing `buf[start..end]` of any non-close entry yields
+/// that value's exact text.
+#[derive(Debug, Clone, Copy)]
+pub struct TapeEntry {
+    pub kind: TapeKind,
+    pub start: u32,
+    pub end: u32,
+    /// Matching open/close tape index for containers; 0 otherwise.
+    pub pair: u32,
+}
+
+/// The structural index of one JSON document.
+#[derive(Debug, Clone)]
+pub struct StructuralIndex {
+    tape: Vec<TapeEntry>,
+}
+
+impl StructuralIndex {
+    /// Build the index over one complete JSON value (trailing bytes after
+    /// the value are an error, matching [`crate::parse::parse_item`]).
+    pub fn build(buf: &[u8]) -> Result<Self> {
+        Self::build_reusing(buf, Vec::new())
+    }
+
+    /// Like [`StructuralIndex::build`], but reuses a previously allocated
+    /// tape (cleared first). Recover it with [`StructuralIndex::into_tape`].
+    pub fn build_reusing(buf: &[u8], mut tape: Vec<TapeEntry>) -> Result<Self> {
+        tape.clear();
+        if buf.len() > u32::MAX as usize {
+            return Err(JdmError::parse(0, "document exceeds the 4 GiB index limit"));
+        }
+        let mut b = Builder {
+            buf,
+            pos: 0,
+            tape,
+            stack: Vec::new(),
+        };
+        b.run()?;
+        Ok(StructuralIndex { tape: b.tape })
+    }
+
+    /// The raw tape.
+    #[inline]
+    pub fn tape(&self) -> &[TapeEntry] {
+        &self.tape
+    }
+
+    /// Number of tape entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tape.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tape.is_empty()
+    }
+
+    /// Tape index of the document's root value (the tape is never empty
+    /// for a successfully built index).
+    #[inline]
+    pub fn root(&self) -> usize {
+        0
+    }
+
+    /// Give the tape back for pooling.
+    pub fn into_tape(self) -> Vec<TapeEntry> {
+        self.tape
+    }
+
+    /// Tape index one past the subtree rooted at `node` — the next sibling
+    /// position. O(1): containers jump via their pair pointer.
+    #[inline]
+    pub fn skip(&self, node: usize) -> usize {
+        let e = &self.tape[node];
+        match e.kind {
+            TapeKind::ObjectOpen | TapeKind::ArrayOpen => e.pair as usize + 1,
+            _ => node + 1,
+        }
+    }
+
+    /// Byte span `[start, end)` of the value at `node`.
+    #[inline]
+    pub fn span(&self, node: usize) -> (usize, usize) {
+        let e = &self.tape[node];
+        (e.start as usize, e.end as usize)
+    }
+
+    /// Tape indices of the members of the array at `node` (empty when the
+    /// node is not an array open).
+    pub fn members(&self, node: usize) -> Vec<usize> {
+        let e = &self.tape[node];
+        let mut out = Vec::new();
+        if e.kind != TapeKind::ArrayOpen {
+            return out;
+        }
+        let close = e.pair as usize;
+        let mut i = node + 1;
+        while i < close {
+            out.push(i);
+            i = self.skip(i);
+        }
+        out
+    }
+
+    /// Materialize the value at `node` into an [`Item`]. The span was
+    /// already validated at build time, so this cannot fail structurally.
+    pub fn item_at(&self, buf: &[u8], node: usize) -> Result<Item> {
+        let (s, e) = self.span(node);
+        let mut p = EventParser::new(&buf[s..e]);
+        TreeBuilder::build(&mut p)
+    }
+
+    /// Decode the string of a [`TapeKind::Key`] or [`TapeKind::String`]
+    /// entry.
+    pub fn str_at<'a>(&self, buf: &'a [u8], node: usize) -> Result<Cow<'a, str>> {
+        Ok(parse_string_at(buf, self.tape[node].start as usize)?.0)
+    }
+
+    /// Whether the key at `node` equals `wanted`, comparing raw bytes when
+    /// the key has no escapes.
+    pub fn key_equals(&self, buf: &[u8], node: usize, wanted: &str) -> Result<bool> {
+        let e = &self.tape[node];
+        let raw = &buf[e.start as usize + 1..e.end as usize - 1];
+        if !raw.contains(&b'\\') {
+            return Ok(raw == wanted.as_bytes());
+        }
+        Ok(parse_string_at(buf, e.start as usize)?.0 == wanted)
+    }
+
+    /// Replay the tape as the [`Event`] stream the event parser would
+    /// produce for the same bytes (tape-driven consumers; differential
+    /// tests pin this equivalence).
+    pub fn events<'a>(&self, buf: &'a [u8]) -> Result<Vec<Event<'a>>> {
+        let mut out = Vec::with_capacity(self.tape.len());
+        for e in &self.tape {
+            out.push(match e.kind {
+                TapeKind::ObjectOpen => Event::StartObject,
+                TapeKind::ObjectClose => Event::EndObject,
+                TapeKind::ArrayOpen => Event::StartArray,
+                TapeKind::ArrayClose => Event::EndArray,
+                TapeKind::Key => Event::Key(parse_string_at(buf, e.start as usize)?.0),
+                TapeKind::String => Event::String(parse_string_at(buf, e.start as usize)?.0),
+                TapeKind::Number => Event::Number(number_at(buf, e.start as usize)?.0),
+                TapeKind::Bool => Event::Bool(buf[e.start as usize] == b't'),
+                TapeKind::Null => Event::Null,
+            });
+        }
+        Ok(out)
+    }
+
+    /// The number value at a [`TapeKind::Number`] entry.
+    pub fn number_at(&self, buf: &[u8], node: usize) -> Result<Number> {
+        Ok(number_at(buf, self.tape[node].start as usize)?.0)
+    }
+}
+
+/// Iterative (non-recursive) validating scanner.
+struct Builder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    tape: Vec<TapeEntry>,
+    /// Tape indices of currently open containers.
+    stack: Vec<u32>,
+}
+
+impl Builder<'_> {
+    fn run(&mut self) -> Result<()> {
+        self.skip_ws();
+        self.value()?;
+        self.skip_ws();
+        if self.pos != self.buf.len() {
+            return Err(JdmError::parse(self.pos, "trailing characters after value"));
+        }
+        Ok(())
+    }
+
+    /// Parse one complete value (with all nesting), iteratively.
+    fn value(&mut self) -> Result<()> {
+        let base = self.stack.len();
+        loop {
+            // At value position.
+            self.skip_ws();
+            match self.peek()? {
+                b'{' => {
+                    self.open(TapeKind::ObjectOpen)?;
+                    self.skip_ws();
+                    match self.peek()? {
+                        b'}' => {
+                            self.close_container();
+                            if self.after_value(base)? {
+                                return Ok(());
+                            }
+                        }
+                        b'"' => self.key()?,
+                        _ => return Err(JdmError::parse(self.pos, "expected object key")),
+                    }
+                }
+                b'[' => {
+                    self.open(TapeKind::ArrayOpen)?;
+                    self.skip_ws();
+                    if self.peek()? == b']' {
+                        self.close_container();
+                        if self.after_value(base)? {
+                            return Ok(());
+                        }
+                    }
+                }
+                c => {
+                    self.atom(c)?;
+                    if self.after_value(base)? {
+                        return Ok(());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Handle separators and closes after a completed value. Returns true
+    /// when the stack has returned to `base` (the outermost value is
+    /// complete); false when the cursor now sits at a new value position.
+    fn after_value(&mut self, base: usize) -> Result<bool> {
+        loop {
+            if self.stack.len() == base {
+                return Ok(true);
+            }
+            self.skip_ws();
+            let top = *self.stack.last().expect("container open") as usize;
+            let in_object = self.tape[top].kind == TapeKind::ObjectOpen;
+            match self.peek()? {
+                b',' => {
+                    self.pos += 1;
+                    self.skip_ws();
+                    if in_object {
+                        if self.peek()? != b'"' {
+                            return Err(JdmError::parse(self.pos, "expected object key"));
+                        }
+                        self.key()?;
+                    } else if self.peek()? == b']' {
+                        return Err(JdmError::parse(self.pos, "trailing comma in array"));
+                    }
+                    return Ok(false);
+                }
+                b'}' if in_object => self.close_container(),
+                b']' if !in_object => self.close_container(),
+                _ => {
+                    let expected = if in_object {
+                        "',' or '}'"
+                    } else {
+                        "',' or ']'"
+                    };
+                    return Err(JdmError::parse(self.pos, format!("expected {expected}")));
+                }
+            }
+        }
+    }
+
+    /// Record a key entry and consume through the `:` (cursor lands at the
+    /// value position, whitespace skipped).
+    fn key(&mut self) -> Result<()> {
+        let start = self.pos;
+        let (_, end) = parse_string_at(self.buf, self.pos)?;
+        self.tape.push(TapeEntry {
+            kind: TapeKind::Key,
+            start: start as u32,
+            end: end as u32,
+            pair: 0,
+        });
+        self.pos = end;
+        self.skip_ws();
+        if self.peek()? != b':' {
+            return Err(JdmError::parse(self.pos, "expected ':' after key"));
+        }
+        self.pos += 1;
+        Ok(())
+    }
+
+    fn open(&mut self, kind: TapeKind) -> Result<()> {
+        if self.stack.len() >= MAX_DEPTH {
+            return Err(JdmError::parse(
+                self.pos,
+                format!("nesting depth exceeds {MAX_DEPTH}"),
+            ));
+        }
+        let idx = self.tape.len() as u32;
+        self.tape.push(TapeEntry {
+            kind,
+            start: self.pos as u32,
+            end: self.pos as u32 + 1,
+            pair: 0,
+        });
+        self.stack.push(idx);
+        self.pos += 1;
+        Ok(())
+    }
+
+    fn close_container(&mut self) {
+        let open = self.stack.pop().expect("container open") as usize;
+        let close = self.tape.len() as u32;
+        let kind = match self.tape[open].kind {
+            TapeKind::ObjectOpen => TapeKind::ObjectClose,
+            _ => TapeKind::ArrayClose,
+        };
+        self.tape.push(TapeEntry {
+            kind,
+            start: self.pos as u32,
+            end: self.pos as u32 + 1,
+            pair: open as u32,
+        });
+        self.tape[open].pair = close;
+        self.tape[open].end = self.pos as u32 + 1;
+        self.pos += 1;
+    }
+
+    fn atom(&mut self, c: u8) -> Result<()> {
+        let start = self.pos;
+        let (kind, end) = match c {
+            b'"' => {
+                let (_, end) = parse_string_at(self.buf, self.pos)?;
+                (TapeKind::String, end)
+            }
+            b'-' | b'0'..=b'9' => {
+                let (end, _) = scan_number_at(self.buf, self.pos)?;
+                (TapeKind::Number, end)
+            }
+            b't' => (TapeKind::Bool, self.word(b"true")?),
+            b'f' => (TapeKind::Bool, self.word(b"false")?),
+            b'n' => (TapeKind::Null, self.word(b"null")?),
+            _ => {
+                return Err(JdmError::parse(
+                    self.pos,
+                    format!("unexpected byte {:?}", c as char),
+                ))
+            }
+        };
+        self.tape.push(TapeEntry {
+            kind,
+            start: start as u32,
+            end: end as u32,
+            pair: 0,
+        });
+        self.pos = end;
+        Ok(())
+    }
+
+    fn word(&self, w: &[u8]) -> Result<usize> {
+        if self.buf.len() - self.pos >= w.len() && &self.buf[self.pos..self.pos + w.len()] == w {
+            Ok(self.pos + w.len())
+        } else {
+            Err(JdmError::parse(self.pos, "invalid literal"))
+        }
+    }
+
+    #[inline]
+    fn peek(&self) -> Result<u8> {
+        if self.pos >= self.buf.len() {
+            return Err(JdmError::UnexpectedEof { offset: self.pos });
+        }
+        Ok(self.buf[self.pos])
+    }
+
+    #[inline]
+    fn skip_ws(&mut self) {
+        while self.pos < self.buf.len()
+            && matches!(self.buf[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_item;
+
+    fn idx(src: &str) -> StructuralIndex {
+        StructuralIndex::build(src.as_bytes()).unwrap()
+    }
+
+    #[test]
+    fn tape_records_structure_and_pairs() {
+        let src = r#"{"a": [1, "x"], "b": null}"#;
+        let t = idx(src);
+        let kinds: Vec<TapeKind> = t.tape().iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TapeKind::ObjectOpen,
+                TapeKind::Key,
+                TapeKind::ArrayOpen,
+                TapeKind::Number,
+                TapeKind::String,
+                TapeKind::ArrayClose,
+                TapeKind::Key,
+                TapeKind::Null,
+                TapeKind::ObjectClose,
+            ]
+        );
+        // Pair pointers round-trip.
+        assert_eq!(t.tape()[0].pair, 8);
+        assert_eq!(t.tape()[8].pair, 0);
+        assert_eq!(t.tape()[2].pair, 5);
+        // Container spans cover the full value text.
+        let (s, e) = t.span(2);
+        assert_eq!(&src[s..e], r#"[1, "x"]"#);
+        assert_eq!(t.span(0), (0, src.len()));
+    }
+
+    #[test]
+    fn skip_jumps_whole_subtrees() {
+        let t = idx(r#"[{"deep": [[1], 2]}, true]"#);
+        let members = t.members(t.root());
+        assert_eq!(members.len(), 2);
+        assert_eq!(t.tape()[members[1]].kind, TapeKind::Bool);
+    }
+
+    #[test]
+    fn item_at_materializes_subtrees() {
+        let src = r#"{"a": [1, {"b": "x"}]}"#;
+        let t = idx(src);
+        let whole = t.item_at(src.as_bytes(), t.root()).unwrap();
+        assert_eq!(whole, parse_item(src.as_bytes()).unwrap());
+        let arr_node = 2; // after ObjectOpen, Key
+        let arr = t.item_at(src.as_bytes(), arr_node).unwrap();
+        assert_eq!(arr.get_index(0), Some(&Item::int(1)));
+    }
+
+    #[test]
+    fn events_match_event_parser() {
+        let src = r#"{"k\n": [1.5, "sé", true, null, -0], "z": {}}"#;
+        let t = idx(src);
+        let mut p = EventParser::new(src.as_bytes());
+        let mut reference = Vec::new();
+        while let Some(ev) = p.next_event().unwrap() {
+            reference.push(ev);
+        }
+        assert_eq!(t.events(src.as_bytes()).unwrap(), reference);
+    }
+
+    #[test]
+    fn rejects_what_the_event_parser_rejects() {
+        for src in [
+            "",
+            "{",
+            "[1,]",
+            "01",
+            "1 2",
+            "tru",
+            r#"{"a" 1}"#,
+            r#""\q""#,
+            r#""\uD800""#,
+            "{\"a\":1,}",
+            "[1 2]",
+            "nul",
+            "\"a\x01b\"",
+        ] {
+            assert!(
+                StructuralIndex::build(src.as_bytes()).is_err(),
+                "index accepted {src:?}"
+            );
+            assert!(
+                parse_item(src.as_bytes()).is_err(),
+                "parser accepted {src:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn depth_guard_matches_parser() {
+        let deep = "[".repeat(MAX_DEPTH + 1);
+        assert!(StructuralIndex::build(deep.as_bytes()).is_err());
+        let ok = format!("{}1{}", "[".repeat(200), "]".repeat(200));
+        assert!(StructuralIndex::build(ok.as_bytes()).is_ok());
+    }
+
+    #[test]
+    fn tape_reuse_keeps_capacity() {
+        let t = idx(r#"[1, 2, 3, 4, 5, 6, 7, 8]"#);
+        let tape = t.into_tape();
+        let cap = tape.capacity();
+        let t2 = StructuralIndex::build_reusing(b"[true]", tape).unwrap();
+        assert_eq!(t2.len(), 3);
+        assert!(t2.into_tape().capacity() >= cap);
+    }
+}

@@ -12,6 +12,11 @@
 //!   *sequence*, which JSONiq layers on top of JSON).
 //! * [`parse`] — a from-scratch, event-based (SAX-style) JSON parser with
 //!   zero-copy string handling, plus a tree builder on top of it.
+//! * [`index`] — the **structural index**: a validating one-pass scan that
+//!   records every structural token (string spans, container open/close
+//!   pairs) into a flat tape, so navigation skips subtrees in O(1)
+//!   without re-scanning bytes, and arrays expose record boundaries for
+//!   split-parallel scans.
 //! * [`project`] — the **path-projecting parser**: given a projection path
 //!   (e.g. `("root")()("results")()`), it streams each matching sub-item to
 //!   a callback *without materializing anything else*. This is the runtime
@@ -40,6 +45,7 @@
 pub mod binary;
 pub mod datetime;
 pub mod error;
+pub mod index;
 pub mod item;
 pub mod number;
 pub mod parse;

@@ -18,6 +18,13 @@ use crate::error::{JdmError, Result};
 use crate::number::Number;
 use std::borrow::Cow;
 
+/// Maximum container nesting depth accepted by the parsers. Both the event
+/// parser and the structural-index builder enforce the same limit so the
+/// two stages agree on which documents are well-formed, and so the
+/// recursive tree builder cannot blow the thread stack on adversarial
+/// input.
+pub const MAX_DEPTH: usize = 512;
+
 /// One JSON structural event.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Event<'a> {
@@ -247,15 +254,22 @@ impl<'a> EventParser<'a> {
     }
 
     fn parse_value(&mut self) -> Result<Event<'a>> {
+        // Reached from value position after separators were consumed, so
+        // the buffer may have run out since next_event's entry check.
+        if self.pos >= self.buf.len() {
+            return Err(JdmError::UnexpectedEof { offset: self.pos });
+        }
         let c = self.buf[self.pos];
         match c {
             b'{' => {
+                self.check_depth()?;
                 self.pos += 1;
                 self.stack.push(Frame::Object { expect_key: true });
                 self.have_value = false;
                 Ok(Event::StartObject)
             }
             b'[' => {
+                self.check_depth()?;
                 self.pos += 1;
                 self.stack.push(Frame::Array);
                 self.have_value = false;
@@ -302,185 +316,29 @@ impl<'a> EventParser<'a> {
         }
     }
 
+    #[inline]
+    fn check_depth(&self) -> Result<()> {
+        if self.stack.len() >= MAX_DEPTH {
+            return Err(JdmError::parse(
+                self.pos,
+                format!("nesting depth exceeds {MAX_DEPTH}"),
+            ));
+        }
+        Ok(())
+    }
+
     fn parse_number(&mut self) -> Result<Number> {
-        let start = self.pos;
-        let b = self.buf;
-        let mut i = self.pos;
-        if i < b.len() && b[i] == b'-' {
-            i += 1;
-        }
-        let int_start = i;
-        while i < b.len() && b[i].is_ascii_digit() {
-            i += 1;
-        }
-        if i == int_start {
-            return Err(JdmError::BadNumber { offset: start });
-        }
-        // Leading zero rule: "0" alone or "0." is ok, "01" is not.
-        if b[int_start] == b'0' && i - int_start > 1 {
-            return Err(JdmError::BadNumber { offset: start });
-        }
-        let mut is_double = false;
-        if i < b.len() && b[i] == b'.' {
-            is_double = true;
-            i += 1;
-            let frac_start = i;
-            while i < b.len() && b[i].is_ascii_digit() {
-                i += 1;
-            }
-            if i == frac_start {
-                return Err(JdmError::BadNumber { offset: start });
-            }
-        }
-        if i < b.len() && (b[i] == b'e' || b[i] == b'E') {
-            is_double = true;
-            i += 1;
-            if i < b.len() && (b[i] == b'+' || b[i] == b'-') {
-                i += 1;
-            }
-            let exp_start = i;
-            while i < b.len() && b[i].is_ascii_digit() {
-                i += 1;
-            }
-            if i == exp_start {
-                return Err(JdmError::BadNumber { offset: start });
-            }
-        }
-        // SAFETY of from_utf8: the scanned range contains only ASCII.
-        let text = std::str::from_utf8(&b[start..i]).expect("ASCII number text");
-        self.pos = i;
-        if !is_double {
-            if let Ok(v) = text.parse::<i64>() {
-                return Ok(Number::Int(v));
-            }
-            // Integer overflow: fall through to double.
-        }
-        text.parse::<f64>()
-            .map(Number::Double)
-            .map_err(|_| JdmError::BadNumber { offset: start })
+        let (n, end) = number_at(self.buf, self.pos)?;
+        self.pos = end;
+        Ok(n)
     }
 
     /// Parse a string literal (cursor on the opening quote). Borrows when no
     /// escapes are present.
     fn parse_string(&mut self) -> Result<Cow<'a, str>> {
-        debug_assert_eq!(self.buf[self.pos], b'"');
-        let start = self.pos + 1;
-        let b = self.buf;
-        let mut i = start;
-        // Fast scan for a clean (escape-free) string.
-        while i < b.len() {
-            match b[i] {
-                b'"' => {
-                    let s = std::str::from_utf8(&b[start..i])
-                        .map_err(|_| JdmError::BadUtf8 { offset: start })?;
-                    self.pos = i + 1;
-                    return Ok(Cow::Borrowed(s));
-                }
-                b'\\' => break,
-                0x00..=0x1F => {
-                    return Err(JdmError::parse(i, "unescaped control character in string"))
-                }
-                _ => i += 1,
-            }
-        }
-        if i >= b.len() {
-            return Err(JdmError::UnexpectedEof { offset: i });
-        }
-        // Slow path with unescaping.
-        let mut out = String::with_capacity(i - start + 16);
-        out.push_str(
-            std::str::from_utf8(&b[start..i]).map_err(|_| JdmError::BadUtf8 { offset: start })?,
-        );
-        while i < b.len() {
-            match b[i] {
-                b'"' => {
-                    self.pos = i + 1;
-                    return Ok(Cow::Owned(out));
-                }
-                b'\\' => {
-                    i += 1;
-                    if i >= b.len() {
-                        return Err(JdmError::UnexpectedEof { offset: i });
-                    }
-                    match b[i] {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'b' => out.push('\u{0008}'),
-                        b'f' => out.push('\u{000C}'),
-                        b'n' => out.push('\n'),
-                        b'r' => out.push('\r'),
-                        b't' => out.push('\t'),
-                        b'u' => {
-                            let cp = self.parse_hex4(i + 1)?;
-                            i += 4;
-                            if (0xD800..0xDC00).contains(&cp) {
-                                // High surrogate: require a following \uXXXX low half.
-                                if i + 6 < b.len() && b[i + 1] == b'\\' && b[i + 2] == b'u' {
-                                    let lo = self.parse_hex4(i + 3)?;
-                                    i += 6;
-                                    if !(0xDC00..0xE000).contains(&lo) {
-                                        return Err(JdmError::parse(i, "bad low surrogate"));
-                                    }
-                                    let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
-                                    out.push(
-                                        char::from_u32(c).ok_or_else(|| {
-                                            JdmError::parse(i, "bad surrogate pair")
-                                        })?,
-                                    );
-                                } else {
-                                    return Err(JdmError::parse(i, "lone high surrogate"));
-                                }
-                            } else if (0xDC00..0xE000).contains(&cp) {
-                                return Err(JdmError::parse(i, "lone low surrogate"));
-                            } else {
-                                out.push(
-                                    char::from_u32(cp)
-                                        .ok_or_else(|| JdmError::parse(i, "bad \\u escape"))?,
-                                );
-                            }
-                        }
-                        other => {
-                            return Err(JdmError::parse(
-                                i,
-                                format!("bad escape '\\{}'", other as char),
-                            ))
-                        }
-                    }
-                    i += 1;
-                }
-                0x00..=0x1F => {
-                    return Err(JdmError::parse(i, "unescaped control character in string"))
-                }
-                _ => {
-                    // Copy a run of plain bytes (handles multi-byte UTF-8).
-                    let run_start = i;
-                    while i < b.len() && !matches!(b[i], b'"' | b'\\' | 0x00..=0x1F) {
-                        i += 1;
-                    }
-                    out.push_str(
-                        std::str::from_utf8(&b[run_start..i])
-                            .map_err(|_| JdmError::BadUtf8 { offset: run_start })?,
-                    );
-                }
-            }
-        }
-        Err(JdmError::UnexpectedEof { offset: i })
-    }
-
-    fn parse_hex4(&self, at: usize) -> Result<u32> {
-        let b = self.buf;
-        if at + 4 > b.len() {
-            return Err(JdmError::UnexpectedEof { offset: at });
-        }
-        let mut v = 0u32;
-        for j in 0..4 {
-            let d = (b[at + j] as char)
-                .to_digit(16)
-                .ok_or_else(|| JdmError::parse(at + j, "bad hex digit in \\u escape"))?;
-            v = v * 16 + d;
-        }
-        Ok(v)
+        let (s, end) = parse_string_at(self.buf, self.pos)?;
+        self.pos = end;
+        Ok(s)
     }
 
     #[inline]
@@ -492,18 +350,6 @@ impl<'a> EventParser<'a> {
         }
     }
 
-    /// Raw input buffer (crate-internal: used by the projector's lookahead).
-    #[inline]
-    pub(crate) fn raw_buf(&self) -> &'a [u8] {
-        self.buf
-    }
-
-    /// Raw cursor position (crate-internal: used by the projector's lookahead).
-    #[inline]
-    pub(crate) fn raw_pos(&self) -> usize {
-        self.pos
-    }
-
     /// Verify that only whitespace remains after the top-level value.
     pub fn finish(mut self) -> Result<()> {
         self.skip_ws();
@@ -513,6 +359,189 @@ impl<'a> EventParser<'a> {
             Err(JdmError::parse(self.pos, "trailing characters after value"))
         }
     }
+}
+
+/// Scan a number token's grammar starting at `start`; returns the end
+/// offset and whether the literal has a fraction or exponent. Shared by
+/// the event parser and the structural-index builder so both accept
+/// exactly the same number grammar.
+pub(crate) fn scan_number_at(b: &[u8], start: usize) -> Result<(usize, bool)> {
+    let mut i = start;
+    if i < b.len() && b[i] == b'-' {
+        i += 1;
+    }
+    let int_start = i;
+    while i < b.len() && b[i].is_ascii_digit() {
+        i += 1;
+    }
+    if i == int_start {
+        return Err(JdmError::BadNumber { offset: start });
+    }
+    // Leading zero rule: "0" alone or "0." is ok, "01" is not.
+    if b[int_start] == b'0' && i - int_start > 1 {
+        return Err(JdmError::BadNumber { offset: start });
+    }
+    let mut is_double = false;
+    if i < b.len() && b[i] == b'.' {
+        is_double = true;
+        i += 1;
+        let frac_start = i;
+        while i < b.len() && b[i].is_ascii_digit() {
+            i += 1;
+        }
+        if i == frac_start {
+            return Err(JdmError::BadNumber { offset: start });
+        }
+    }
+    if i < b.len() && (b[i] == b'e' || b[i] == b'E') {
+        is_double = true;
+        i += 1;
+        if i < b.len() && (b[i] == b'+' || b[i] == b'-') {
+            i += 1;
+        }
+        let exp_start = i;
+        while i < b.len() && b[i].is_ascii_digit() {
+            i += 1;
+        }
+        if i == exp_start {
+            return Err(JdmError::BadNumber { offset: start });
+        }
+    }
+    Ok((i, is_double))
+}
+
+/// Parse and convert a number token; returns the value and the end offset.
+pub(crate) fn number_at(b: &[u8], start: usize) -> Result<(Number, usize)> {
+    let (end, is_double) = scan_number_at(b, start)?;
+    // SAFETY of from_utf8: the scanned range contains only ASCII.
+    let text = std::str::from_utf8(&b[start..end]).expect("ASCII number text");
+    if !is_double {
+        if let Ok(v) = text.parse::<i64>() {
+            return Ok((Number::Int(v), end));
+        }
+        // Integer overflow: fall through to double.
+    }
+    text.parse::<f64>()
+        .map(|v| (Number::Double(v), end))
+        .map_err(|_| JdmError::BadNumber { offset: start })
+}
+
+/// Parse (and fully validate) a string literal whose opening quote is at
+/// `start_quote`; returns the decoded string and the offset just past the
+/// closing quote. Borrows when no escapes are present. Shared by the
+/// event parser and the structural-index builder so string validation —
+/// escapes, surrogate pairing, control characters, UTF-8 — is identical
+/// in both stages.
+pub(crate) fn parse_string_at(b: &[u8], start_quote: usize) -> Result<(Cow<'_, str>, usize)> {
+    debug_assert_eq!(b[start_quote], b'"');
+    let start = start_quote + 1;
+    let mut i = start;
+    // Fast scan for a clean (escape-free) string.
+    while i < b.len() {
+        match b[i] {
+            b'"' => {
+                let s = std::str::from_utf8(&b[start..i])
+                    .map_err(|_| JdmError::BadUtf8 { offset: start })?;
+                return Ok((Cow::Borrowed(s), i + 1));
+            }
+            b'\\' => break,
+            0x00..=0x1F => return Err(JdmError::parse(i, "unescaped control character in string")),
+            _ => i += 1,
+        }
+    }
+    if i >= b.len() {
+        return Err(JdmError::UnexpectedEof { offset: i });
+    }
+    // Slow path with unescaping.
+    let mut out = String::with_capacity(i - start + 16);
+    out.push_str(
+        std::str::from_utf8(&b[start..i]).map_err(|_| JdmError::BadUtf8 { offset: start })?,
+    );
+    while i < b.len() {
+        match b[i] {
+            b'"' => {
+                return Ok((Cow::Owned(out), i + 1));
+            }
+            b'\\' => {
+                i += 1;
+                if i >= b.len() {
+                    return Err(JdmError::UnexpectedEof { offset: i });
+                }
+                match b[i] {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{0008}'),
+                    b'f' => out.push('\u{000C}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let cp = parse_hex4(b, i + 1)?;
+                        i += 4;
+                        if (0xD800..0xDC00).contains(&cp) {
+                            // High surrogate: require a following \uXXXX low half.
+                            if i + 6 < b.len() && b[i + 1] == b'\\' && b[i + 2] == b'u' {
+                                let lo = parse_hex4(b, i + 3)?;
+                                i += 6;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(JdmError::parse(i, "bad low surrogate"));
+                                }
+                                let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                out.push(
+                                    char::from_u32(c)
+                                        .ok_or_else(|| JdmError::parse(i, "bad surrogate pair"))?,
+                                );
+                            } else {
+                                return Err(JdmError::parse(i, "lone high surrogate"));
+                            }
+                        } else if (0xDC00..0xE000).contains(&cp) {
+                            return Err(JdmError::parse(i, "lone low surrogate"));
+                        } else {
+                            out.push(
+                                char::from_u32(cp)
+                                    .ok_or_else(|| JdmError::parse(i, "bad \\u escape"))?,
+                            );
+                        }
+                    }
+                    other => {
+                        return Err(JdmError::parse(
+                            i,
+                            format!("bad escape '\\{}'", other as char),
+                        ))
+                    }
+                }
+                i += 1;
+            }
+            0x00..=0x1F => return Err(JdmError::parse(i, "unescaped control character in string")),
+            _ => {
+                // Copy a run of plain bytes (handles multi-byte UTF-8).
+                let run_start = i;
+                while i < b.len() && !matches!(b[i], b'"' | b'\\' | 0x00..=0x1F) {
+                    i += 1;
+                }
+                out.push_str(
+                    std::str::from_utf8(&b[run_start..i])
+                        .map_err(|_| JdmError::BadUtf8 { offset: run_start })?,
+                );
+            }
+        }
+    }
+    Err(JdmError::UnexpectedEof { offset: i })
+}
+
+fn parse_hex4(b: &[u8], at: usize) -> Result<u32> {
+    if at + 4 > b.len() {
+        return Err(JdmError::UnexpectedEof { offset: at });
+    }
+    let mut v = 0u32;
+    for j in 0..4 {
+        let d = (b[at + j] as char)
+            .to_digit(16)
+            .ok_or_else(|| JdmError::parse(at + j, "bad hex digit in \\u escape"))?;
+        v = v * 16 + d;
+    }
+    Ok(v)
 }
 
 #[cfg(test)]
@@ -656,6 +685,44 @@ mod tests {
         match &evs[0] {
             Event::Number(Number::Double(d)) => assert!(*d > 1e29),
             other => panic!("expected double, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eof_after_separator_is_an_error_not_a_panic() {
+        // Regression (found by the differential fuzzer): a buffer ending
+        // right after a comma fell through to value parsing without an
+        // EOF check and indexed past the end.
+        for src in ["[1,", "[1, ", r#"{"a":1,"b":"#, "[", r#"{"a":"#] {
+            let mut p = EventParser::new(src.as_bytes());
+            let err = loop {
+                match p.next_event() {
+                    Ok(Some(_)) => continue,
+                    Ok(None) => panic!("{src:?} must not parse"),
+                    Err(e) => break e,
+                }
+            };
+            assert!(
+                matches!(err, JdmError::UnexpectedEof { .. }),
+                "{src:?}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn nesting_deeper_than_max_depth_is_rejected() {
+        let src = "[".repeat(MAX_DEPTH + 1);
+        let mut p = EventParser::new(src.as_bytes());
+        let err = loop {
+            match p.next_event() {
+                Ok(Some(_)) => continue,
+                Ok(None) => panic!("expected depth error"),
+                Err(e) => break e,
+            }
+        };
+        match err {
+            JdmError::Parse { msg, .. } => assert!(msg.contains("depth"), "{msg}"),
+            other => panic!("expected depth error, got {other:?}"),
         }
     }
 

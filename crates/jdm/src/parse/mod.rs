@@ -7,5 +7,7 @@
 mod event;
 mod tree;
 
-pub use event::{Event, EventParser};
+pub use event::{Event, EventParser, MAX_DEPTH};
 pub use tree::{parse_item, parse_many, TreeBuilder};
+
+pub(crate) use event::{number_at, parse_string_at, scan_number_at};

@@ -1,18 +1,31 @@
-//! The path-projecting streaming parser.
+//! The path-projecting parser, driven by the structural index.
 //!
-//! [`project_stream`] walks raw JSON bytes once, following a
-//! [`ProjectionPath`], and hands each matching sub-item to a callback the
-//! moment its closing brace is seen — *nothing else is materialized*. This
-//! is the runtime realization of the paper's extended DATASCAN operator
-//! (pipelining rules, §4.2): with path
-//! `("root")()("results")()` over a GHCN sensor file, the callback sees one
-//! measurement object at a time, while `metadata`, sibling keys, and all
-//! non-matching structure are skipped at byte-scanning speed.
+//! [`project_stream`] builds the [`StructuralIndex`] over raw JSON bytes
+//! (one validating pass), then navigates the tape following a
+//! [`ProjectionPath`]: non-matching subtrees are skipped in O(1) via the
+//! tape's pair pointers instead of being re-scanned byte by byte. Only
+//! matching sub-items are materialized. This is the runtime realization
+//! of the paper's extended DATASCAN operator (pipelining rules, §4.2):
+//! with path `("root")()("results")()` over a GHCN sensor file, the sink
+//! sees one measurement object at a time, while `metadata`, sibling keys,
+//! and all non-matching structure cost a single tape jump.
+//!
+//! Because the index pass validates the *whole* document (same grammar as
+//! [`crate::parse::parse_item`], shared code), projection now errors on
+//! malformed bytes even inside skipped subtrees — exactly like a full
+//! tree parse would, which is what the differential test suite pins.
+//!
+//! [`RecordTable`] exposes the document's record boundaries along the
+//! path prefix up to the first `()` step, letting the scan layer project
+//! disjoint record ranges of one file from different partitions
+//! ([`RecordTable::project_range`]); the union over all ranges equals one
+//! whole-file projection.
 
-use crate::error::{JdmError, Result};
+use crate::error::Result;
+use crate::index::{StructuralIndex, TapeKind};
 use crate::item::Item;
-use crate::parse::{Event, EventParser, TreeBuilder};
 use crate::path::{PathStep, ProjectionPath};
+use std::ops::Range;
 
 /// Statistics from one projection pass, used by tests and the memory model.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -29,11 +42,29 @@ pub struct ProjectStats {
 pub fn project_stream(
     buf: &[u8],
     path: &ProjectionPath,
+    sink: impl FnMut(Item) -> bool,
+) -> Result<ProjectStats> {
+    let index = StructuralIndex::build(buf)?;
+    project_indexed(buf, &index, path, sink)
+}
+
+/// [`project_stream`] over an already-built index (lets callers amortize
+/// the index across multiple projections or record ranges).
+pub fn project_indexed(
+    buf: &[u8],
+    index: &StructuralIndex,
+    path: &ProjectionPath,
     mut sink: impl FnMut(Item) -> bool,
 ) -> Result<ProjectStats> {
-    let mut p = EventParser::new(buf);
     let mut stats = ProjectStats::default();
-    walk(&mut p, path.steps(), &mut sink, &mut stats)?;
+    walk_tape(
+        buf,
+        index,
+        index.root(),
+        path.steps(),
+        &mut sink,
+        &mut stats,
+    )?;
     Ok(stats)
 }
 
@@ -47,162 +78,227 @@ pub fn project_all(buf: &[u8], path: &ProjectionPath) -> Result<Vec<Item>> {
     Ok(out)
 }
 
-/// Recursive step: the cursor is at value position; `steps` is the residual
-/// path. Returns `Ok(false)` when the sink asked to stop.
-fn walk(
-    p: &mut EventParser<'_>,
+/// Recursive step over the tape: `node` is at value position; `steps` is
+/// the residual path. Returns `Ok(false)` when the sink asked to stop.
+fn walk_tape(
+    buf: &[u8],
+    idx: &StructuralIndex,
+    node: usize,
     steps: &[PathStep],
     sink: &mut impl FnMut(Item) -> bool,
     stats: &mut ProjectStats,
 ) -> Result<bool> {
     let Some((first, rest)) = steps.split_first() else {
         // End of path: materialize this value and emit it.
-        let item = TreeBuilder::build(p)?;
+        let item = idx.item_at(buf, node)?;
         stats.emitted += 1;
         return Ok(sink(item));
     };
 
-    let start = p
-        .next_event()?
-        .ok_or(JdmError::UnexpectedEof { offset: p.offset() })?;
-
+    let e = &idx.tape()[node];
     match first {
         PathStep::Key(wanted) => {
-            if !matches!(start, Event::StartObject) {
+            if e.kind != TapeKind::ObjectOpen {
                 // `value` on a non-object yields the empty sequence: skip.
-                skip_started(p, &start, stats)?;
+                stats.skipped += 1;
                 return Ok(true);
             }
+            let close = e.pair as usize;
             let mut matched = false;
-            loop {
-                match p.next_event()? {
-                    Some(Event::EndObject) => return Ok(true),
-                    Some(Event::Key(k)) => {
-                        if !matched && k.as_ref() == &**wanted {
-                            matched = true; // first occurrence wins
-                            if !walk(p, rest, sink, stats)? {
-                                return Ok(false);
-                            }
-                        } else {
-                            stats.skipped += 1;
-                            p.skip_value()?;
-                        }
-                    }
-                    Some(other) => {
-                        return Err(JdmError::parse(
-                            p.offset(),
-                            format!("unexpected {other:?} in object"),
-                        ))
-                    }
-                    None => return Err(JdmError::UnexpectedEof { offset: p.offset() }),
-                }
-            }
-        }
-        PathStep::Index(wanted) => {
-            if !matches!(start, Event::StartArray) {
-                skip_started(p, &start, stats)?;
-                return Ok(true);
-            }
-            let mut pos: i64 = 0;
-            loop {
-                pos += 1;
-                if pos == *wanted {
-                    // Peek: if the array ended, index is out of range.
-                    if at_array_end(p)? {
-                        return Ok(true);
-                    }
-                    if !walk(p, rest, sink, stats)? {
+            let mut i = node + 1;
+            while i < close {
+                let value = i + 1; // the key's value entry follows it
+                if !matched && idx.key_equals(buf, i, wanted)? {
+                    matched = true; // first occurrence wins
+                    if !walk_tape(buf, idx, value, rest, sink, stats)? {
                         return Ok(false);
                     }
                 } else {
-                    if at_array_end(p)? {
-                        return Ok(true);
-                    }
                     stats.skipped += 1;
-                    p.skip_value()?;
                 }
+                i = idx.skip(value);
             }
+            Ok(true)
         }
-        PathStep::AllMembers => {
-            if !matches!(start, Event::StartArray) {
-                // keys-or-members pushed down only over arrays; objects or
-                // atomics contribute nothing here.
-                skip_started(p, &start, stats)?;
+        PathStep::Index(wanted) => {
+            if e.kind != TapeKind::ArrayOpen {
+                stats.skipped += 1;
                 return Ok(true);
             }
-            loop {
-                if at_array_end(p)? {
-                    return Ok(true);
+            let close = e.pair as usize;
+            let mut pos: i64 = 0;
+            let mut i = node + 1;
+            while i < close {
+                pos += 1;
+                if pos == *wanted {
+                    if !walk_tape(buf, idx, i, rest, sink, stats)? {
+                        return Ok(false);
+                    }
+                } else {
+                    stats.skipped += 1;
                 }
-                if !walk(p, rest, sink, stats)? {
+                i = idx.skip(i);
+            }
+            Ok(true)
+        }
+        PathStep::AllMembers => {
+            if e.kind != TapeKind::ArrayOpen {
+                // keys-or-members pushed down only over arrays; objects or
+                // atomics contribute nothing here.
+                stats.skipped += 1;
+                return Ok(true);
+            }
+            let close = e.pair as usize;
+            let mut i = node + 1;
+            while i < close {
+                if !walk_tape(buf, idx, i, rest, sink, stats)? {
                     return Ok(false);
                 }
+                i = idx.skip(i);
             }
+            Ok(true)
         }
     }
 }
 
-/// After a non-container start event, nothing to skip; after a container
-/// start we must consume to its end.
-fn skip_started(
-    p: &mut EventParser<'_>,
-    start: &Event<'_>,
-    stats: &mut ProjectStats,
-) -> Result<()> {
-    stats.skipped += 1;
-    match start {
-        Event::StartObject | Event::StartArray => {
-            let target = p.depth() - 1;
-            // Consume events until the container closes. skip_value works
-            // from value position, so do it manually here.
-            loop {
-                if p.depth() == target {
-                    return Ok(());
+/// One record of a splittable document: a member of the array reached by
+/// the projection path's prefix up to (and including) its first `()` step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordSpan {
+    /// Tape index of the record's value.
+    pub node: usize,
+    /// Byte span of the record in the document.
+    pub start: usize,
+    pub end: usize,
+}
+
+/// The record boundaries of one document along a projection path —
+/// what makes a file splittable into record-aligned ranges.
+#[derive(Debug, Clone)]
+pub struct RecordTable {
+    /// The records, in document order.
+    pub records: Vec<RecordSpan>,
+    /// Number of leading path steps consumed reaching the records (the
+    /// prefix through the first `()`); the rest apply per record.
+    residual: usize,
+}
+
+impl RecordTable {
+    /// Build the record table for `path` over an indexed document.
+    ///
+    /// Returns `None` when the path contains no `()` step — such a
+    /// projection yields at most one item, so the document has no record
+    /// granularity to split on. When the prefix misses (absent key,
+    /// out-of-range index, type mismatch) the table is `Some` but empty:
+    /// every range projects nothing, matching the whole-file projection.
+    pub fn build(
+        buf: &[u8],
+        index: &StructuralIndex,
+        path: &ProjectionPath,
+    ) -> Result<Option<RecordTable>> {
+        let steps = path.steps();
+        let Some(k) = steps.iter().position(|s| matches!(s, PathStep::AllMembers)) else {
+            return Ok(None);
+        };
+        let residual = k + 1;
+        let empty = RecordTable {
+            records: Vec::new(),
+            residual,
+        };
+        let mut node = index.root();
+        for step in &steps[..k] {
+            let e = &index.tape()[node];
+            match step {
+                PathStep::Key(wanted) => {
+                    if e.kind != TapeKind::ObjectOpen {
+                        return Ok(Some(empty));
+                    }
+                    let close = e.pair as usize;
+                    let mut i = node + 1;
+                    let mut found = None;
+                    while i < close {
+                        if index.key_equals(buf, i, wanted)? {
+                            found = Some(i + 1); // first occurrence wins
+                            break;
+                        }
+                        i = index.skip(i + 1);
+                    }
+                    match found {
+                        Some(v) => node = v,
+                        None => return Ok(Some(empty)),
+                    }
                 }
-                match p.next_event()? {
-                    Some(_) => continue,
-                    None => return Err(JdmError::UnexpectedEof { offset: p.offset() }),
+                PathStep::Index(wanted) => {
+                    if e.kind != TapeKind::ArrayOpen {
+                        return Ok(Some(empty));
+                    }
+                    let close = e.pair as usize;
+                    let mut pos: i64 = 0;
+                    let mut i = node + 1;
+                    let mut found = None;
+                    while i < close {
+                        pos += 1;
+                        if pos == *wanted {
+                            found = Some(i);
+                            break;
+                        }
+                        i = index.skip(i);
+                    }
+                    match found {
+                        Some(v) => node = v,
+                        None => return Ok(Some(empty)),
+                    }
                 }
+                PathStep::AllMembers => unreachable!("k is the first AllMembers"),
             }
         }
-        _ => Ok(()),
+        if index.tape()[node].kind != TapeKind::ArrayOpen {
+            return Ok(Some(empty));
+        }
+        let records = index
+            .members(node)
+            .into_iter()
+            .map(|m| {
+                let (start, end) = index.span(m);
+                RecordSpan {
+                    node: m,
+                    start,
+                    end,
+                }
+            })
+            .collect();
+        Ok(Some(RecordTable { records, residual }))
     }
-}
 
-/// True (and consumes the event) if the next event closes the current array.
-fn at_array_end(p: &mut EventParser<'_>) -> Result<bool> {
-    // EventParser has no peek; emulate via a lightweight probe: remember
-    // position by cloning is not possible (stack state), so use a tiny
-    // lookahead on the raw buffer instead: from value/closer position the
-    // next non-ws byte decides.
-    Ok(p.peek_is_array_close())
-}
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
 
-impl<'a> EventParser<'a> {
-    /// Lookahead used by the projector: true if (after optional whitespace
-    /// and a pending comma having *not* been consumed) the next structural
-    /// token closes the current array. Consumes the `]` via the normal
-    /// event path when true.
-    fn peek_is_array_close(&mut self) -> bool {
-        // Cheap textual lookahead: scan ws (and at most one comma handled by
-        // next_event), then check for ']'. We only need to answer "is the
-        // very next event EndArray?", which next_event can tell us if we
-        // could un-consume. Instead inspect raw bytes: at this point the
-        // cursor sits right after the previous value (or right after '[').
-        let b = self.raw_buf();
-        let mut i = self.raw_pos();
-        while i < b.len() && matches!(b[i], b' ' | b'\t' | b'\n' | b'\r') {
-            i += 1;
-        }
-        if i < b.len() && b[i] == b']' {
-            // Let the event machinery consume it to keep state consistent.
-            match self.next_event() {
-                Ok(Some(Event::EndArray)) => true,
-                _ => true, // malformed input surfaces on the next real call
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Project the records in `range` (indices into [`RecordTable::records`])
+    /// through the residual path steps. Projecting disjoint ranges covering
+    /// `0..len()` — in any order, from any number of tasks sharing the
+    /// index — emits exactly the items of one whole-document projection.
+    pub fn project_range(
+        &self,
+        buf: &[u8],
+        index: &StructuralIndex,
+        path: &ProjectionPath,
+        range: Range<usize>,
+        mut sink: impl FnMut(Item) -> bool,
+    ) -> Result<ProjectStats> {
+        let steps = &path.steps()[self.residual..];
+        let mut stats = ProjectStats::default();
+        for rec in &self.records[range] {
+            if !walk_tape(buf, index, rec.node, steps, &mut sink, &mut stats)? {
+                break;
             }
-        } else {
-            false
         }
+        Ok(stats)
     }
 }
 
@@ -349,5 +445,70 @@ mod tests {
         let src = br#"{"a": 1, "a": 2}"#;
         let p = path(&["a"]);
         assert_eq!(project_all(src, &p).unwrap(), vec![Item::int(1)]);
+    }
+
+    #[test]
+    fn malformed_skipped_subtree_is_an_error() {
+        // The old byte-skipping walk tolerated garbage inside skipped
+        // values; index-guided projection validates everything, exactly
+        // like a full tree parse.
+        let src = br#"{"skip": [01], "keep": 1}"#;
+        let p = path(&["keep"]);
+        assert!(project_stream(src, &p, |_| true).is_err());
+        assert!(parse_item(src).is_err());
+    }
+
+    #[test]
+    fn record_table_finds_top_level_records() {
+        let p = path(&["root", "()", "results", "()"]);
+        let idx = StructuralIndex::build(SENSOR.as_bytes()).unwrap();
+        let table = RecordTable::build(SENSOR.as_bytes(), &idx, &p)
+            .unwrap()
+            .expect("path has a () step");
+        assert_eq!(table.len(), 2, "two top-level sensor records");
+        for r in &table.records {
+            assert!(SENSOR.as_bytes()[r.start] == b'{');
+            assert!(SENSOR.as_bytes()[r.end - 1] == b'}');
+        }
+    }
+
+    #[test]
+    fn record_ranges_union_to_whole_projection() {
+        let p = path(&["root", "()", "results", "()"]);
+        let buf = SENSOR.as_bytes();
+        let idx = StructuralIndex::build(buf).unwrap();
+        let table = RecordTable::build(buf, &idx, &p).unwrap().unwrap();
+        let whole = project_all(buf, &p).unwrap();
+        for mid in 0..=table.len() {
+            let mut got = Vec::new();
+            for range in [0..mid, mid..table.len()] {
+                table
+                    .project_range(buf, &idx, &p, range, |it| {
+                        got.push(it);
+                        true
+                    })
+                    .unwrap();
+            }
+            assert_eq!(got, whole, "split at {mid}");
+        }
+    }
+
+    #[test]
+    fn record_table_without_all_members_is_none() {
+        let p = path(&["root", "#1"]);
+        let idx = StructuralIndex::build(SENSOR.as_bytes()).unwrap();
+        assert!(RecordTable::build(SENSOR.as_bytes(), &idx, &p)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn record_table_missing_prefix_is_empty() {
+        let p = path(&["nope", "()"]);
+        let idx = StructuralIndex::build(SENSOR.as_bytes()).unwrap();
+        let table = RecordTable::build(SENSOR.as_bytes(), &idx, &p)
+            .unwrap()
+            .unwrap();
+        assert!(table.is_empty());
     }
 }

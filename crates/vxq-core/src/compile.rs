@@ -21,10 +21,11 @@
 
 use crate::aggs::AggFactory;
 use crate::error::{EngineError, Result};
+use crate::pool::ScanBufferPool;
 use crate::rtexpr::{RtExpr, EXTRA_FIELD};
 use crate::scan::{
     resolve_collection, EmptyTupleSourceFactory, JsonDocScanFactory, ProjectedScanFactory,
-    WholeCollectionScanFactory,
+    ScanOptions, WholeCollectionScanFactory,
 };
 use algebra::expr::{AggFunc, Function, LogicalExpr};
 use algebra::plan::{LogicalOp, LogicalPlan, VarGen, VarId};
@@ -54,6 +55,23 @@ pub struct CompileOptions {
     pub nodes: usize,
     /// Enable two-step (local/global) aggregation.
     pub two_step_aggregation: bool,
+    /// DATASCAN split behaviour (intra-file parallelism).
+    pub scan: ScanOptions,
+    /// Shared scan buffer pool (owned by the engine, reused across
+    /// queries).
+    pub pool: Arc<ScanBufferPool>,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            data_root: PathBuf::from("."),
+            nodes: 1,
+            two_step_aggregation: true,
+            scan: ScanOptions::default(),
+            pool: Arc::new(ScanBufferPool::new()),
+        }
+    }
 }
 
 /// Compile an optimized logical plan into an executable job.
@@ -488,10 +506,12 @@ impl<'a> Compiler<'a> {
                 }
                 let dir = resolve_collection(&self.opts.data_root, &source.path);
                 let mut p = Pipeline {
-                    input: PipeInput::Source(Arc::new(ProjectedScanFactory {
+                    input: PipeInput::Source(Arc::new(ProjectedScanFactory::new(
                         dir,
-                        project: project.clone(),
-                    })),
+                        project.clone(),
+                        self.opts.scan.clone(),
+                        self.opts.pool.clone(),
+                    ))),
                     steps: Vec::new(),
                     schema: vec![*var],
                     parallelism: Parallelism::Full,
@@ -1062,6 +1082,7 @@ mod tests {
                 data_root: PathBuf::from("/nonexistent"),
                 nodes: 2,
                 two_step_aggregation: rules.two_step_aggregation,
+                ..CompileOptions::default()
             },
         )
         .expect("physical compilation")
@@ -1163,6 +1184,7 @@ mod tests {
                 data_root: PathBuf::from("/nonexistent"),
                 nodes: 1,
                 two_step_aggregation: true,
+                ..CompileOptions::default()
             },
         );
         match r {
@@ -1183,6 +1205,7 @@ mod tests {
                 data_root: PathBuf::from("/nonexistent"),
                 nodes: 1,
                 two_step_aggregation: false,
+                ..CompileOptions::default()
             },
         )
         .expect("compiles physically");

@@ -2,6 +2,8 @@
 
 use crate::compile::{compile_plan, CompileOptions};
 use crate::error::Result;
+use crate::pool::ScanBufferPool;
+use crate::scan::ScanOptions;
 use algebra::rules::{RuleConfig, RuleFiring, RuleSet};
 use algebra::LogicalPlan;
 use dataflow::trace::ArgValue;
@@ -21,6 +23,8 @@ pub struct EngineConfig {
     pub data_root: PathBuf,
     /// Optional memory budget in bytes for materialized state (0 = none).
     pub memory_budget: usize,
+    /// DATASCAN split behaviour (intra-file parallelism).
+    pub scan: ScanOptions,
 }
 
 impl Default for EngineConfig {
@@ -30,6 +34,7 @@ impl Default for EngineConfig {
             rules: RuleConfig::all(),
             data_root: PathBuf::from("."),
             memory_budget: 0,
+            scan: ScanOptions::default(),
         }
     }
 }
@@ -55,6 +60,9 @@ pub struct Engine {
     config: EngineConfig,
     cluster: Cluster,
     rules: RuleSet,
+    /// Scan buffers and index tapes, reused across every query this
+    /// engine runs.
+    pool: Arc<ScanBufferPool>,
 }
 
 impl Engine {
@@ -72,6 +80,7 @@ impl Engine {
             config,
             cluster,
             rules,
+            pool: Arc::new(ScanBufferPool::new()),
         }
     }
 
@@ -97,6 +106,7 @@ impl Engine {
             config,
             cluster,
             rules,
+            pool: Arc::new(ScanBufferPool::new()),
         }
     }
 
@@ -211,6 +221,8 @@ impl Engine {
                     data_root: self.config.data_root.clone(),
                     nodes: self.config.cluster.nodes,
                     two_step_aggregation: self.config.rules.two_step_aggregation,
+                    scan: self.config.scan.clone(),
+                    pool: self.pool.clone(),
                 },
             )?
         };
@@ -289,6 +301,33 @@ pub fn render_analysis(result: &QueryResult) -> String {
             s.busy.as_secs_f64() * 1e6,
             s.emit_stall.as_secs_f64() * 1e6
         );
+    }
+    if !result.stats.profile.splits.is_empty() {
+        out.push_str("\n== scan splits ==\n");
+        let _ = writeln!(
+            out,
+            "{:<5} {:<4} {:<40} {:>7} {:>10} {:>10} {:>12} {:>12}",
+            "stage", "part", "file", "split", "records", "tuples", "bytes", "busy_us"
+        );
+        for s in &result.stats.profile.splits {
+            let file = std::path::Path::new(&s.file)
+                .file_name()
+                .map(|f| f.to_string_lossy().into_owned())
+                .unwrap_or_else(|| s.file.clone());
+            let _ = writeln!(
+                out,
+                "{:<5} {:<4} {:<40} {:>3}/{:<3} {:>10} {:>10} {:>12} {:>12.1}",
+                s.stage,
+                s.partition,
+                file,
+                s.split,
+                s.of,
+                s.records,
+                s.tuples,
+                s.bytes,
+                s.elapsed.as_secs_f64() * 1e6
+            );
+        }
     }
     let st = &result.stats;
     let _ = writeln!(

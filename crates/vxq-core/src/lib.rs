@@ -44,9 +44,12 @@ pub mod aggs;
 pub mod compile;
 pub mod engine;
 pub mod error;
+pub mod pool;
 pub mod queries;
 pub mod rtexpr;
 pub mod scan;
 
 pub use engine::{render_analysis, Engine, EngineConfig, QueryResult};
 pub use error::{EngineError, Result};
+pub use pool::ScanBufferPool;
+pub use scan::ScanOptions;

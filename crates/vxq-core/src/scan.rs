@@ -3,9 +3,10 @@
 //! Three scan flavours, matching the plan shapes before/after the rules:
 //!
 //! * [`ProjectedScanFactory`] — the post-pipelining-rules DATASCAN: each
-//!   partition reads its share of the files and **streams the projected
-//!   items** straight out of the parser ([`jdm::project`]), one tuple per
-//!   item. Partitioned-parallel, bounded memory.
+//!   partition reads its share of the collection and **streams the
+//!   projected items** straight out of the structural-index-guided
+//!   projector ([`jdm::project`]), one tuple per item. Partitioned-
+//!   parallel, bounded memory.
 //! * [`WholeCollectionScanFactory`] — the naive `ASSIGN collection(...)`:
 //!   a *single* partition parses every file completely and emits **one
 //!   tuple holding the sequence of all file items** (what the paper's
@@ -19,19 +20,80 @@
 //! A collection path (e.g. `/sensors`) resolves to
 //! `<data_root>/sensors/`. If that directory contains `node0/`, `node1/`,
 //! … sub-directories, node *n* owns `node{n}` and its partitions share
-//! its files round-robin (the paper's "each node has a unique set of JSON
-//! files stored under the same directory"). Otherwise files are assigned
-//! round-robin across all partitions.
+//! its files (the paper's "each node has a unique set of JSON files
+//! stored under the same directory"). Otherwise files are shared across
+//! all partitions.
+//!
+//! ## Splits, not files
+//!
+//! Work is assigned as [`ScanSplit`]s. Every task of a stage computes the
+//! same deterministic global assignment ([`partition_splits`]) from file
+//! sizes alone, then keeps its own share — no coordination:
+//!
+//! 1. files larger than [`ScanOptions::min_split_bytes`] are chopped into
+//!    up to one split per partition (only when the projection path has a
+//!    `()` step — that is what gives the file record granularity — and
+//!    never for binary `.adm` files);
+//! 2. the splits are placed by greedy LPT (largest first, onto the
+//!    least-loaded partition), so a size-skewed directory still balances —
+//!    the old index round-robin ignored sizes entirely.
+//!
+//! At scan time, split *j of n* of a file covers records
+//! `[j·R/n, (j+1)·R/n)` of the array reached by the projection path's
+//! prefix (see [`jdm::project::RecordTable`]): record-aligned byte
+//! ranges, found via the structural index, no mid-value cuts. The n
+//! tasks of one file share a single read + index through a per-factory
+//! cache, so a single big JSON file fans out across all workers while
+//! being read once per node.
 
+use crate::pool::ScanBufferPool;
 use dataflow::context::TaskContext;
 use dataflow::ops::eval::{ScanSource, ScanSourceFactory, TupleEmitter};
-use dataflow::{DataflowError, Result};
+use dataflow::profile::SplitProfile;
+use dataflow::{DataflowError, MemTracker, Result};
 use jdm::binary::{to_bytes, write_item};
+use jdm::index::StructuralIndex;
 use jdm::parse::parse_item;
-use jdm::project::project_stream;
-use jdm::{Item, ProjectionPath};
+use jdm::project::{project_indexed, RecordTable};
+use jdm::{Item, PathStep, ProjectionPath};
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Knobs of the projected DATASCAN (part of the engine configuration).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanOptions {
+    /// Allow record-aligned ranges of one large file to fan out across
+    /// the partitions of a node (on by default; turn off to reproduce
+    /// whole-file-granular scans).
+    pub intra_file_splits: bool,
+    /// Files smaller than this never split, and splits are never smaller
+    /// than this (bounds per-split overhead).
+    pub min_split_bytes: u64,
+}
+
+impl Default for ScanOptions {
+    fn default() -> Self {
+        ScanOptions {
+            intra_file_splits: true,
+            min_split_bytes: 64 * 1024,
+        }
+    }
+}
+
+/// One unit of scan work: a record-aligned share of a file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanSplit {
+    pub path: PathBuf,
+    /// Estimated bytes this split covers (size-based; used for placement).
+    pub bytes: u64,
+    /// Split index within the file.
+    pub split: usize,
+    /// Total splits of the file (1 = whole file).
+    pub of: usize,
+}
 
 /// Resolve a query collection path under the engine's data root.
 pub fn resolve_collection(data_root: &Path, coll: &str) -> PathBuf {
@@ -60,6 +122,17 @@ fn list_json_files(dir: &Path) -> Result<Vec<PathBuf>> {
     Ok(files)
 }
 
+/// Files of a directory with their byte sizes.
+fn sized_files(dir: &Path) -> Result<Vec<(PathBuf, u64)>> {
+    Ok(list_json_files(dir)?
+        .into_iter()
+        .map(|p| {
+            let size = std::fs::metadata(&p).map(|m| m.len()).unwrap_or(0);
+            (p, size)
+        })
+        .collect())
+}
+
 /// Parse one data file (text or binary) into an item.
 fn parse_file(path: &Path, buf: &[u8]) -> Result<Item> {
     let binary = path.extension().map(|e| e == "adm").unwrap_or(false);
@@ -86,43 +159,87 @@ fn node_dirs(dir: &Path) -> Result<Vec<PathBuf>> {
     Ok(out)
 }
 
-/// The files a given partition is responsible for.
+/// The splits a given partition is responsible for.
 ///
 /// Data-node directory `d` is owned by cluster node `d % cluster_nodes`
 /// (exact locality when the dataset was generated for this cluster size;
 /// balanced reassignment when node counts differ, as in the speed-up
 /// experiments that run one dataset on growing clusters). Within a node,
-/// files are split round-robin over its partitions.
-pub fn partition_files(dir: &Path, ctx: &TaskContext) -> Result<Vec<PathBuf>> {
+/// the node's files are chopped and placed over its partitions by
+/// [`assign_splits`]; a flat collection is placed over all partitions.
+/// `splittable` says whether the consumer can scan a record range of a
+/// file (true only for projections with a `()` step).
+pub fn partition_splits(
+    dir: &Path,
+    ctx: &TaskContext,
+    opts: &ScanOptions,
+    splittable: bool,
+) -> Result<Vec<ScanSplit>> {
     let ppn = ctx.partitions_per_node.max(1);
     let cluster_nodes = ctx.num_partitions.div_ceil(ppn);
     let dirs = node_dirs(dir)?;
     if dirs.is_empty() {
-        // Flat collection: round-robin across all partitions.
-        let files = list_json_files(dir)?;
-        return Ok(files
-            .into_iter()
-            .enumerate()
-            .filter(|(i, _)| i % ctx.num_partitions.max(1) == ctx.partition)
-            .map(|(_, f)| f)
-            .collect());
+        // Flat collection: place over all partitions.
+        let files = sized_files(dir)?;
+        let mut assignment = assign_splits(&files, ctx.num_partitions.max(1), opts, splittable);
+        return Ok(std::mem::take(&mut assignment[ctx.partition]));
     }
     let local = ctx.partition % ppn;
-    let mut files = Vec::new();
+    let mut out = Vec::new();
     for (d, node_dir) in dirs.iter().enumerate() {
         if d % cluster_nodes.max(1) != ctx.node {
             continue;
         }
-        let node_files = list_json_files(node_dir)?;
-        files.extend(
-            node_files
-                .into_iter()
-                .enumerate()
-                .filter(|(i, _)| i % ppn == local)
-                .map(|(_, f)| f),
-        );
+        let files = sized_files(node_dir)?;
+        let mut assignment = assign_splits(&files, ppn, opts, splittable);
+        out.append(&mut assignment[local]);
     }
-    Ok(files)
+    Ok(out)
+}
+
+/// Deterministic size-aware placement of a file set over `nparts`
+/// partitions: chop large files into record-range splits, then greedy LPT
+/// (largest split first, onto the least-loaded partition, ties broken by
+/// path so every task computes the identical placement).
+fn assign_splits(
+    files: &[(PathBuf, u64)],
+    nparts: usize,
+    opts: &ScanOptions,
+    splittable: bool,
+) -> Vec<Vec<ScanSplit>> {
+    let mut splits = Vec::with_capacity(files.len());
+    for (path, size) in files {
+        let adm = path.extension().map(|e| e == "adm").unwrap_or(false);
+        let pieces = if splittable && !adm && opts.intra_file_splits && nparts > 1 {
+            ((size / opts.min_split_bytes.max(1)) as usize).clamp(1, nparts)
+        } else {
+            1
+        };
+        for j in 0..pieces {
+            splits.push(ScanSplit {
+                path: path.clone(),
+                bytes: (size / pieces as u64).max(1),
+                split: j,
+                of: pieces,
+            });
+        }
+    }
+    splits.sort_by(|a, b| {
+        b.bytes
+            .cmp(&a.bytes)
+            .then_with(|| a.path.cmp(&b.path))
+            .then(a.split.cmp(&b.split))
+    });
+    let mut out = vec![Vec::new(); nparts];
+    let mut load = vec![0u64; nparts];
+    for s in splits {
+        let p = (0..nparts)
+            .min_by_key(|&i| (load[i], i))
+            .expect("nparts > 0");
+        load[p] += s.bytes;
+        out[p].push(s);
+    }
+    out
 }
 
 /// Every file of the collection, across all node directories.
@@ -142,59 +259,241 @@ pub fn all_files(dir: &Path, _nodes: usize) -> Result<Vec<PathBuf>> {
 
 /// Factory for the projecting partitioned DATASCAN.
 pub struct ProjectedScanFactory {
-    pub dir: PathBuf,
-    pub project: ProjectionPath,
+    dir: PathBuf,
+    project: ProjectionPath,
+    options: ScanOptions,
+    pool: Arc<ScanBufferPool>,
+    /// Shared per-job cache: the n tasks scanning splits of one file read
+    /// and index it exactly once.
+    cache: Arc<FileIndexCache>,
+}
+
+impl ProjectedScanFactory {
+    pub fn new(
+        dir: PathBuf,
+        project: ProjectionPath,
+        options: ScanOptions,
+        pool: Arc<ScanBufferPool>,
+    ) -> Self {
+        ProjectedScanFactory {
+            dir,
+            project,
+            options,
+            pool,
+            cache: Arc::new(FileIndexCache::default()),
+        }
+    }
 }
 
 impl ScanSourceFactory for ProjectedScanFactory {
     fn create(&self, ctx: &TaskContext) -> Result<Box<dyn ScanSource>> {
+        // Only a `()` step gives the file record granularity to split on.
+        let splittable = self
+            .project
+            .steps()
+            .iter()
+            .any(|s| matches!(s, PathStep::AllMembers));
         Ok(Box::new(ProjectedScan {
-            files: partition_files(&self.dir, ctx)?,
+            splits: partition_splits(&self.dir, ctx, &self.options, splittable)?,
             project: self.project.clone(),
             ctx: ctx.clone(),
+            pool: self.pool.clone(),
+            cache: self.cache.clone(),
         }))
     }
 }
 
 struct ProjectedScan {
-    files: Vec<PathBuf>,
+    splits: Vec<ScanSplit>,
     project: ProjectionPath,
     ctx: TaskContext,
+    pool: Arc<ScanBufferPool>,
+    cache: Arc<FileIndexCache>,
 }
 
 impl ScanSource for ProjectedScan {
     fn run(&mut self, emit: &mut TupleEmitter<'_>) -> Result<()> {
-        let mut buf = Vec::new();
         let mut item_bytes = Vec::new();
-        for file in &self.files {
-            read_file_into(file, &mut buf)?;
-            self.ctx
-                .counters
-                .bytes_scanned
-                .fetch_add(buf.len() as u64, Ordering::Relaxed);
-            if file.extension().map(|e| e == "adm").unwrap_or(false) {
-                // Binary files navigate zero-copy instead of re-parsing.
-                let root = jdm::binary::ItemRef::new(&buf)
-                    .map_err(|e| DataflowError::Source(format!("{}: {e}", file.display())))?;
-                project_binary(root, self.project.steps(), emit)?;
-                continue;
-            }
+        for split in &self.splits {
+            let started = Instant::now();
+            let mut tuples = 0u64;
             let mut err = None;
-            project_stream(&buf, &self.project, |item| {
+            let src_err =
+                |e: jdm::JdmError| DataflowError::Source(format!("{}: {e}", split.path.display()));
+            // The emitting sink shared by all text paths below.
+            let mut sink = |item: Item| {
                 item_bytes.clear();
                 write_item(&item, &mut item_bytes);
-                if let Err(e) = emit(&[&item_bytes]) {
-                    err = Some(e);
-                    return false;
+                match emit(&[&item_bytes]) {
+                    Ok(()) => {
+                        tuples += 1;
+                        true
+                    }
+                    Err(e) => {
+                        err = Some(e);
+                        false
+                    }
                 }
-                true
-            })
-            .map_err(|e| DataflowError::Source(format!("{}: {e}", file.display())))?;
+            };
+
+            let (records, bytes);
+            if split.path.extension().map(|e| e == "adm").unwrap_or(false) {
+                // Binary files navigate zero-copy instead of re-parsing
+                // (never split: `of` is always 1 for .adm).
+                let mut buf = self.pool.take_buf();
+                read_file_into(&split.path, &mut buf)?;
+                self.ctx
+                    .counters
+                    .bytes_scanned
+                    .fetch_add(buf.len() as u64, Ordering::Relaxed);
+                let root = jdm::binary::ItemRef::new(&buf)
+                    .map_err(|e| DataflowError::Source(format!("{}: {e}", split.path.display())))?;
+                project_binary(root, self.project.steps(), emit, &mut tuples)?;
+                records = tuples;
+                bytes = buf.len() as u64;
+                self.pool.put_buf(buf);
+            } else if split.of == 1 {
+                // Whole file: pooled read buffer + pooled index tape.
+                let mut buf = self.pool.take_buf();
+                read_file_into(&split.path, &mut buf)?;
+                self.ctx
+                    .counters
+                    .bytes_scanned
+                    .fetch_add(buf.len() as u64, Ordering::Relaxed);
+                let index =
+                    StructuralIndex::build_reusing(&buf, self.pool.take_tape()).map_err(src_err)?;
+                let table = RecordTable::build(&buf, &index, &self.project).map_err(src_err)?;
+                records = match &table {
+                    Some(t) => {
+                        let n = t.len();
+                        t.project_range(&buf, &index, &self.project, 0..n, &mut sink)
+                            .map_err(src_err)?;
+                        n as u64
+                    }
+                    None => {
+                        project_indexed(&buf, &index, &self.project, &mut sink).map_err(src_err)?;
+                        tuples
+                    }
+                };
+                bytes = buf.len() as u64;
+                self.pool.put_tape(index.into_tape());
+                self.pool.put_buf(buf);
+            } else {
+                // One record range of a shared file: the cache reads and
+                // indexes the file once for all of its splits on this node.
+                let shared = self.cache.get(&split.path, &self.project, &self.ctx)?;
+                let n = shared.table.len();
+                let lo = n * split.split / split.of;
+                let hi = n * (split.split + 1) / split.of;
+                shared
+                    .table
+                    .project_range(
+                        &shared.bytes,
+                        &shared.index,
+                        &self.project,
+                        lo..hi,
+                        &mut sink,
+                    )
+                    .map_err(src_err)?;
+                records = (hi - lo) as u64;
+                bytes = if hi > lo {
+                    (shared.table.records[hi - 1].end - shared.table.records[lo].start) as u64
+                } else {
+                    0
+                };
+            }
             if let Some(e) = err {
                 return Err(e);
             }
+            self.ctx.record_split(SplitProfile {
+                stage: self.ctx.stage,
+                partition: self.ctx.partition,
+                file: split.path.display().to_string(),
+                split: split.split,
+                of: split.of,
+                records,
+                tuples,
+                bytes,
+                elapsed: started.elapsed(),
+            });
         }
         Ok(())
+    }
+}
+
+/// One fully loaded and indexed file, shared by the tasks scanning its
+/// splits. Its memory is tracked for the duration of the job.
+struct LoadedFile {
+    bytes: Vec<u8>,
+    index: StructuralIndex,
+    table: RecordTable,
+    mem: Arc<MemTracker>,
+    tracked: usize,
+}
+
+impl Drop for LoadedFile {
+    fn drop(&mut self) {
+        self.mem.free(self.tracked);
+    }
+}
+
+/// Per-factory (per-job, per-process) cache of loaded files. The map
+/// lock is held only to find the slot; the load itself runs inside the
+/// slot's `OnceLock`, so concurrent tasks of other files proceed and
+/// tasks of the same file block exactly until the single load finishes.
+#[derive(Default)]
+struct FileIndexCache {
+    #[allow(clippy::type_complexity)]
+    map: Mutex<HashMap<PathBuf, Arc<OnceLock<std::result::Result<Arc<LoadedFile>, String>>>>>,
+}
+
+impl FileIndexCache {
+    fn get(
+        &self,
+        path: &Path,
+        project: &ProjectionPath,
+        ctx: &TaskContext,
+    ) -> Result<Arc<LoadedFile>> {
+        let slot = self
+            .map
+            .lock()
+            .expect("scan cache lock")
+            .entry(path.to_path_buf())
+            .or_default()
+            .clone();
+        let loaded = slot.get_or_init(|| {
+            let load = || -> Result<Arc<LoadedFile>> {
+                let mut bytes = Vec::new();
+                read_file_into(path, &mut bytes)?;
+                ctx.counters
+                    .bytes_scanned
+                    .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                let src_err =
+                    |e: jdm::JdmError| DataflowError::Source(format!("{}: {e}", path.display()));
+                let index = StructuralIndex::build(&bytes).map_err(src_err)?;
+                let table = RecordTable::build(&bytes, &index, project)
+                    .map_err(src_err)?
+                    .ok_or_else(|| {
+                        DataflowError::Source(format!(
+                            "{}: split scan over a path with no () step",
+                            path.display()
+                        ))
+                    })?;
+                let tracked = bytes.len()
+                    + index.len() * std::mem::size_of::<jdm::index::TapeEntry>()
+                    + table.records.len() * std::mem::size_of::<jdm::project::RecordSpan>();
+                ctx.mem.alloc(tracked);
+                Ok(Arc::new(LoadedFile {
+                    bytes,
+                    index,
+                    table,
+                    mem: ctx.mem.clone(),
+                    tracked,
+                }))
+            };
+            load().map_err(|e| e.to_string())
+        });
+        loaded.clone().map_err(DataflowError::Source)
     }
 }
 
@@ -203,20 +502,22 @@ fn project_binary(
     item: jdm::binary::ItemRef<'_>,
     steps: &[jdm::PathStep],
     emit: &mut TupleEmitter<'_>,
+    tuples: &mut u64,
 ) -> Result<()> {
     use jdm::PathStep;
     let Some((first, rest)) = steps.split_first() else {
+        *tuples += 1;
         return emit(&[item.bytes()]);
     };
     match first {
         PathStep::Key(k) => match item.get_key(k) {
-            Some(v) => project_binary(v, rest, emit),
+            Some(v) => project_binary(v, rest, emit, tuples),
             None => Ok(()),
         },
         PathStep::Index(i) => {
             if *i >= 1 {
                 if let Some(v) = item.member((*i - 1) as usize) {
-                    return project_binary(v, rest, emit);
+                    return project_binary(v, rest, emit, tuples);
                 }
             }
             Ok(())
@@ -224,7 +525,7 @@ fn project_binary(
         PathStep::AllMembers => {
             if item.tag() == jdm::binary::tag::ARRAY {
                 for m in item.members() {
-                    project_binary(m, rest, emit)?;
+                    project_binary(m, rest, emit, tuples)?;
                 }
             }
             Ok(())
@@ -384,11 +685,17 @@ mod tests {
     #[test]
     fn partitions_cover_all_files_exactly_once() {
         let dir = layout(3, 4);
+        let opts = ScanOptions::default();
         for (nodes, ppn) in [(1usize, 1usize), (1, 4), (3, 2), (6, 1), (2, 3)] {
             let total = nodes * ppn;
             let mut seen = Vec::new();
             for p in 0..total {
-                seen.extend(partition_files(&dir, &ctx(p, total, ppn)).unwrap());
+                seen.extend(
+                    partition_splits(&dir, &ctx(p, total, ppn), &opts, true)
+                        .unwrap()
+                        .into_iter()
+                        .map(|s| s.path),
+                );
             }
             seen.sort();
             let mut all = all_files(&dir, 3).unwrap();
@@ -402,28 +709,132 @@ mod tests {
     }
 
     #[test]
-    fn matching_cluster_gets_node_locality() {
-        let dir = layout(2, 2);
-        // 2 nodes x 1 partition: node 0 reads only node0's files.
-        let files = partition_files(&dir, &ctx(0, 2, 1)).unwrap();
-        assert!(files.iter().all(|f| f.to_string_lossy().contains("node0")));
-        let files1 = partition_files(&dir, &ctx(1, 2, 1)).unwrap();
-        assert!(files1.iter().all(|f| f.to_string_lossy().contains("node1")));
+    fn split_ranges_cover_each_file_exactly_once() {
+        // With a tiny split threshold every file chops into one split per
+        // partition; the (path, split, of) triples across partitions must
+        // tile each file exactly.
+        let dir = layout(1, 3);
+        let opts = ScanOptions {
+            intra_file_splits: true,
+            min_split_bytes: 1,
+        };
+        let ppn = 4;
+        let mut seen: Vec<(PathBuf, usize, usize)> = Vec::new();
+        for p in 0..ppn {
+            for s in partition_splits(&dir, &ctx(p, ppn, ppn), &opts, true).unwrap() {
+                seen.push((s.path, s.split, s.of));
+            }
+        }
+        seen.sort();
+        let mut expected = Vec::new();
+        for f in all_files(&dir, 1).unwrap() {
+            // 2-byte files, threshold 1 byte: 2 pieces (clamped by size).
+            for j in 0..2 {
+                expected.push((f.clone(), j, 2));
+            }
+        }
+        expected.sort();
+        assert_eq!(seen, expected);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
-    fn flat_directory_round_robins() {
+    fn unsplittable_paths_get_whole_files() {
+        let dir = layout(1, 2);
+        let opts = ScanOptions {
+            intra_file_splits: true,
+            min_split_bytes: 1,
+        };
+        for p in 0..2 {
+            for s in partition_splits(&dir, &ctx(p, 2, 2), &opts, false).unwrap() {
+                assert_eq!(s.of, 1, "no () step means whole-file scans");
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn matching_cluster_gets_node_locality() {
+        let dir = layout(2, 2);
+        let opts = ScanOptions::default();
+        // 2 nodes x 1 partition: node 0 reads only node0's files.
+        let files = partition_splits(&dir, &ctx(0, 2, 1), &opts, true).unwrap();
+        assert!(files
+            .iter()
+            .all(|s| s.path.to_string_lossy().contains("node0")));
+        let files1 = partition_splits(&dir, &ctx(1, 2, 1), &opts, true).unwrap();
+        assert!(files1
+            .iter()
+            .all(|s| s.path.to_string_lossy().contains("node1")));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flat_directory_is_shared_disjointly() {
         let dir = std::env::temp_dir().join("vxq-scan-flat");
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         for f in 0..5 {
             std::fs::write(dir.join(format!("f{f}.json")), b"{}").unwrap();
         }
-        let a = partition_files(&dir, &ctx(0, 2, 2)).unwrap();
-        let b = partition_files(&dir, &ctx(1, 2, 2)).unwrap();
+        let opts = ScanOptions::default();
+        let a = partition_splits(&dir, &ctx(0, 2, 2), &opts, true).unwrap();
+        let b = partition_splits(&dir, &ctx(1, 2, 2), &opts, true).unwrap();
         assert_eq!(a.len() + b.len(), 5);
-        assert!(a.iter().all(|f| !b.contains(f)));
+        assert!(a.iter().all(|s| !b.contains(s)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lpt_balances_a_ten_to_one_skewed_directory() {
+        // One 10x file plus five 1x files: index round-robin over 2
+        // partitions would put 10+1+1 = 12 units on one side and 3 on the
+        // other. Size-aware splitting + LPT must balance within 20%.
+        let dir = std::env::temp_dir().join("vxq-scan-skew");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("a-big.json"), vec![b' '; 10 * 1024]).unwrap();
+        for f in 0..5 {
+            std::fs::write(dir.join(format!("b-small{f}.json")), vec![b' '; 1024]).unwrap();
+        }
+        let opts = ScanOptions {
+            intra_file_splits: true,
+            min_split_bytes: 1024,
+        };
+        let loads: Vec<u64> = (0..2)
+            .map(|p| {
+                partition_splits(&dir, &ctx(p, 2, 2), &opts, true)
+                    .unwrap()
+                    .iter()
+                    .map(|s| s.bytes)
+                    .sum()
+            })
+            .collect();
+        let (max, min) = (*loads.iter().max().unwrap(), *loads.iter().min().unwrap());
+        assert!(min > 0, "both partitions must get work: {loads:?}");
+        assert!(
+            max as f64 <= min as f64 * 1.2,
+            "10:1 skew must balance within 20%: {loads:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn adm_files_never_split() {
+        let dir = std::env::temp_dir().join("vxq-scan-adm-split");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let item = jdm::parse::parse_item(br#"{"root": [1, 2, 3, 4]}"#).unwrap();
+        std::fs::write(dir.join("a.adm"), jdm::binary::to_bytes(&item)).unwrap();
+        let opts = ScanOptions {
+            intra_file_splits: true,
+            min_split_bytes: 1,
+        };
+        for p in 0..2 {
+            for s in partition_splits(&dir, &ctx(p, 2, 2), &opts, true).unwrap() {
+                assert_eq!(s.of, 1, "binary files have no text record ranges");
+            }
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,1 +1,49 @@
-//! integration test host crate
+//! Integration test host crate: shared helpers for the e2e suites.
+
+/// Partitions-per-node used by cluster-shape-sensitive suites. The CI
+/// matrix re-runs the suite with `VXQ_PARTITIONS=4` to cover multi-task
+/// nodes; locally it defaults to `fallback`.
+pub fn partitions_from_env(fallback: usize) -> usize {
+    match std::env::var("VXQ_PARTITIONS") {
+        Ok(v) if !v.trim().is_empty() => v
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("VXQ_PARTITIONS must be a positive integer, got {v:?}")),
+        _ => fallback,
+    }
+}
+
+/// Seed for the randomized differential suite.
+///
+/// * unset — a fixed default (deterministic CI leg);
+/// * `VXQ_DIFF_SEED=<u64>` — reproduce a reported failure;
+/// * `VXQ_DIFF_SEED=random` — a fresh seed per run (fuzzing CI leg). The
+///   seed is part of every assertion message, so a failure is replayable.
+pub fn diff_seed() -> u64 {
+    match std::env::var("VXQ_DIFF_SEED") {
+        Ok(v) if v.trim() == "random" => std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64 | 1)
+            .unwrap_or(0x5eed),
+        Ok(v) if !v.trim().is_empty() => v
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("VXQ_DIFF_SEED must be a u64 or 'random', got {v:?}")),
+        _ => 0xD1FF_5EED,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn defaults_apply_without_env() {
+        // The suite never sets these vars itself, so in-process defaults
+        // must hold (CI legs override via the environment).
+        if std::env::var("VXQ_PARTITIONS").is_err() {
+            assert_eq!(super::partitions_from_env(2), 2);
+        }
+        if std::env::var("VXQ_DIFF_SEED").is_err() {
+            assert_eq!(super::diff_seed(), 0xD1FF_5EED);
+        }
+    }
+}

@@ -68,6 +68,7 @@ fn engine(rules: RuleConfig, cluster: ClusterSpec) -> Engine {
         rules,
         data_root: data_root().clone(),
         memory_budget: 0,
+        ..EngineConfig::default()
     })
 }
 

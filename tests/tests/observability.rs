@@ -40,6 +40,7 @@ fn engine(rules: RuleConfig) -> Engine {
         rules,
         data_root: data_root().clone(),
         memory_budget: 0,
+        ..EngineConfig::default()
     })
 }
 
