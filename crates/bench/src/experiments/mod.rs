@@ -23,12 +23,14 @@
 //! | ablation-frames | (beyond the paper) frame-size sweep | [`ablation::frame_size`] |
 //! | ablation-memory | (beyond the paper) peak memory per rule config | [`ablation::memory_by_config`] |
 //! | splits-scan | (beyond the paper) intra-file split scanning | [`splits::splits`] |
+//! | spill | (beyond the paper) memory-budget sweep, spilling operators | [`spill::spill`] |
 
 pub mod ablation;
 pub mod compare_cluster;
 pub mod compare_single;
 pub mod parallel;
 pub mod rules;
+pub mod spill;
 pub mod splits;
 
 use crate::{Harness, Table};
@@ -59,6 +61,7 @@ pub const EXPERIMENTS: &[(&str, ExperimentFn)] = &[
     ("ablation-frames", ablation::frame_size),
     ("ablation-memory", ablation::memory_by_config),
     ("splits-scan", splits::splits),
+    ("spill", spill::spill),
 ];
 
 /// Look up an experiment by id.

@@ -122,6 +122,25 @@ impl Harness {
             data_root: root.to_path_buf(),
             memory_budget: 0,
             scan,
+            ..EngineConfig::default()
+        })
+    }
+
+    /// Build a VXQuery engine running under a memory budget (bytes; the
+    /// spill experiment's knob). `0` = unlimited.
+    pub fn engine_with_budget(
+        &self,
+        root: &std::path::Path,
+        cluster: ClusterSpec,
+        rules: RuleConfig,
+        memory_budget: usize,
+    ) -> Engine {
+        Engine::new(EngineConfig {
+            cluster,
+            rules,
+            data_root: root.to_path_buf(),
+            memory_budget,
+            ..EngineConfig::default()
         })
     }
 

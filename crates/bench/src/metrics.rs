@@ -68,6 +68,46 @@ pub fn to_prometheus(query: &str, r: &QueryResult) -> String {
         "Raw bytes read by scan sources.",
         st.bytes_scanned as f64,
     );
+    gauge(
+        "peak_cached_bytes",
+        "Resident scan cache high-water; included in peak_memory_bytes, exempt from the budget.",
+        st.peak_cached as f64,
+    );
+    gauge(
+        "spill_budget_bytes",
+        "Operator working-state budget (0 = unlimited).",
+        st.spill.budget as f64,
+    );
+    gauge(
+        "spill_runs_total",
+        "Run files written by spilling operators.",
+        st.spill.runs_written as f64,
+    );
+    gauge(
+        "spill_bytes_total",
+        "Bytes written to spill run files.",
+        st.spill.bytes_spilled as f64,
+    );
+    gauge(
+        "spill_tuples_total",
+        "Tuples written to spill run files.",
+        st.spill.tuples_spilled as f64,
+    );
+    gauge(
+        "spill_merge_passes_total",
+        "Intermediate external-sort merge passes.",
+        st.spill.merge_passes as f64,
+    );
+    gauge(
+        "spill_max_recursion",
+        "Deepest spill partitioning level reached.",
+        st.spill.max_recursion as f64,
+    );
+    gauge(
+        "spill_budget_exceeded",
+        "1 if an operator without a spill path overran the budget.",
+        st.spill.budget_exceeded as u8 as f64,
+    );
 
     out.push_str("# HELP vxq_op_tuples_total Tuples through an operator, by direction.\n");
     out.push_str("# TYPE vxq_op_tuples_total gauge\n");
@@ -140,14 +180,29 @@ pub fn to_json(query: &str, r: &QueryResult) -> String {
     let _ = write!(
         out,
         "\"stats\":{{\"elapsed_us\":{},\"cpu_total_us\":{},\"peak_memory_bytes\":{},\
-         \"network_bytes\":{},\"frames_shipped\":{},\"result_tuples\":{},\"bytes_scanned\":{}}},",
+         \"peak_cached_bytes\":{},\"network_bytes\":{},\"frames_shipped\":{},\
+         \"result_tuples\":{},\"bytes_scanned\":{}}},",
         st.elapsed.as_micros(),
         st.cpu_total.as_micros(),
         st.peak_memory,
+        st.peak_cached,
         st.network_bytes,
         st.frames_shipped,
         st.result_tuples,
         st.bytes_scanned
+    );
+    let _ = write!(
+        out,
+        "\"spill\":{{\"budget_bytes\":{},\"runs_written\":{},\"bytes_spilled\":{},\
+         \"tuples_spilled\":{},\"merge_passes\":{},\"max_recursion\":{},\
+         \"budget_exceeded\":{}}},",
+        st.spill.budget,
+        st.spill.runs_written,
+        st.spill.bytes_spilled,
+        st.spill.tuples_spilled,
+        st.spill.merge_passes,
+        st.spill.max_recursion,
+        st.spill.budget_exceeded
     );
     out.push_str("\"operators\":[");
     for (i, s) in r.stats.profile.summaries().iter().enumerate() {
@@ -227,6 +282,9 @@ mod tests {
         assert!(prom.contains("# TYPE vxq_elapsed_seconds gauge"));
         assert!(prom.contains("vxq_op_tuples_total{query=\"q1\""));
         assert!(prom.contains("vxq_rule_applications_total"));
+        assert!(prom.contains("vxq_spill_runs_total"));
+        assert!(prom.contains("vxq_spill_budget_exceeded"));
+        assert!(prom.contains("vxq_peak_cached_bytes"));
         // Every non-comment line is `name{labels} value`.
         for line in prom.lines().filter(|l| !l.starts_with('#')) {
             let (head, value) = line.rsplit_once(' ').expect("sample has value");
@@ -244,6 +302,12 @@ mod tests {
             !r.rule_firings.is_empty(),
             "Q1 with all rules must fire rewrites"
         );
+        let spill = item.get_key("spill").expect("spill object");
+        assert!(spill
+            .get_key("runs_written")
+            .and_then(|v| v.as_number())
+            .is_some());
+        assert!(spill.get_key("budget_exceeded").is_some());
         let first = item
             .get_key("rule_firings")
             .and_then(|f| f.get_index(0))

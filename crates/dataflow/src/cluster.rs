@@ -15,6 +15,7 @@ use crate::frame::{Frame, DEFAULT_FRAME_SIZE};
 use crate::job::{Connector, JobSpec, Parallelism, StageId, StageKind};
 use crate::ops::{run_source, BoxWriter, CollectorWriter};
 use crate::profile::Profiler;
+use crate::spill::{SpillConfig, SpillCtx};
 use crate::stats::{Counters, JobStats, MemTracker};
 use crate::trace::TraceBuffer;
 use jdm::binary::ItemRef;
@@ -75,6 +76,7 @@ pub struct Cluster {
     spec: ClusterSpec,
     mem: Arc<MemTracker>,
     gates: Vec<CoreGate>,
+    spill: SpillConfig,
 }
 
 /// Decoded query result: one row per result tuple.
@@ -87,6 +89,12 @@ impl Cluster {
 
     /// Use an externally-owned tracker (lets baselines impose budgets).
     pub fn with_memory(spec: ClusterSpec, mem: Arc<MemTracker>) -> Self {
+        Self::with_settings(spec, mem, SpillConfig::default())
+    }
+
+    /// Full constructor: tracker plus spill tuning (run-file directory,
+    /// merge fan-in, partition fan-out).
+    pub fn with_settings(spec: ClusterSpec, mem: Arc<MemTracker>, spill: SpillConfig) -> Self {
         let gates = (0..spec.nodes)
             .map(|_| {
                 if spec.cores_per_node == 0 {
@@ -96,7 +104,12 @@ impl Cluster {
                 }
             })
             .collect();
-        Cluster { spec, mem, gates }
+        Cluster {
+            spec,
+            mem,
+            gates,
+            spill,
+        }
     }
 
     pub fn spec(&self) -> &ClusterSpec {
@@ -121,6 +134,7 @@ impl Cluster {
         num_partitions: usize,
         counters: &Arc<Counters>,
         profiler: &Arc<Profiler>,
+        spill: &Arc<SpillCtx>,
     ) -> TaskContext {
         let node = partition
             .checked_div(self.spec.partitions_per_node)
@@ -137,6 +151,7 @@ impl Cluster {
             counters: counters.clone(),
             gate: self.gates[node].clone(),
             profiler: Some(profiler.clone()),
+            spill: spill.clone(),
         }
     }
 
@@ -158,6 +173,9 @@ impl Cluster {
         let terminal = job.terminal()?;
         let counters = Counters::new();
         let profiler = Profiler::new();
+        // Per-job spill state; dropping it at the end of this function —
+        // on success *or* error — removes the job's spill directory.
+        let spill_ctx = SpillCtx::new(self.mem.clone(), self.spill.clone());
         self.mem.reset();
 
         // Each stage has at most one consumer edge in our plans; find it.
@@ -208,7 +226,7 @@ impl Cluster {
             for id in 0..nstages {
                 let parts = self.stage_partitions(job, id);
                 for p in 0..parts {
-                    let ctx = self.make_ctx(id, p, parts, &counters, &profiler);
+                    let ctx = self.make_ctx(id, p, parts, &counters, &profiler, &spill_ctx);
                     // Output writer: collector for the terminal stage,
                     // connector sender otherwise.
                     let out: BoxWriter = if id == terminal {
@@ -344,16 +362,20 @@ impl Cluster {
                 .max()
                 .unwrap_or_default();
             drop(task_cpu);
+            let mut profile = profiler.finish();
+            profile.spill_ops = spill_ctx.op_profiles();
             let stats = JobStats {
                 elapsed: simulated.max(std::time::Duration::from_micros(1)),
                 wall_elapsed: started.elapsed(),
                 cpu_total,
                 peak_memory: self.mem.peak(),
+                peak_cached: self.mem.cached_peak(),
                 network_bytes: counters.network_bytes.load(Ordering::Relaxed) as usize,
                 frames_shipped: counters.frames_shipped.load(Ordering::Relaxed) as usize,
                 result_tuples: rows.len(),
                 bytes_scanned: counters.bytes_scanned.load(Ordering::Relaxed) as usize,
-                profile: profiler.finish(),
+                spill: spill_ctx.summary(),
+                profile,
             };
             Ok((rows, stats))
         })
@@ -471,7 +493,7 @@ mod tests {
             Ok(Box::new(HashGroupByOp::new(
                 vec![0],
                 Arc::new(CountFactory),
-                ctx.mem.clone(),
+                ctx.spill_handle("HASH-GROUP-BY"),
                 ctx.frame_size,
                 out,
             )))
@@ -634,7 +656,7 @@ mod tests {
             Ok(Box::new(HashJoinOp::new(
                 vec![0],
                 vec![0],
-                ctx.mem.clone(),
+                ctx.spill_handle("HASH-JOIN"),
                 ctx.frame_size,
                 out,
             )))

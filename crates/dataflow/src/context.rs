@@ -2,6 +2,7 @@
 
 use crate::ops::BoxWriter;
 use crate::profile::Profiler;
+use crate::spill::{SpillCtx, SpillHandle};
 use crate::stats::{Counters, MemTracker};
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -100,6 +101,9 @@ pub struct TaskContext {
     /// Per-run operator profiler; chain factories wrap each operator they
     /// build via [`TaskContext::instrument`].
     pub profiler: Option<Arc<Profiler>>,
+    /// Per-job spill state: memory grants and run files for the stateful
+    /// operators (see [`crate::spill`]).
+    pub spill: Arc<SpillCtx>,
 }
 
 impl TaskContext {
@@ -123,6 +127,12 @@ impl TaskContext {
         if let Some(p) = &self.profiler {
             p.record_split(split);
         }
+    }
+
+    /// A spill handle for one operator instance of this task, registered
+    /// under the task's stage and partition.
+    pub fn spill_handle(&self, op: &'static str) -> SpillHandle {
+        self.spill.handle(op, self.stage, self.partition)
     }
 }
 
@@ -171,6 +181,7 @@ mod tests {
             counters: Counters::new(),
             gate: CoreGate::unlimited(),
             profiler: None,
+            spill: SpillCtx::unlimited(),
         };
         assert_eq!(ctx.node_of(0), 0);
         assert_eq!(ctx.node_of(3), 0);

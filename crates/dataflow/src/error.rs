@@ -24,6 +24,8 @@ pub enum DataflowError {
     /// The job exceeded its configured memory budget (used by baselines
     /// simulating memory-limited systems).
     OutOfMemory { requested: usize, budget: usize },
+    /// Spill subsystem failure (run-file I/O, spill-directory lifecycle).
+    Spill(String),
 }
 
 impl fmt::Display for DataflowError {
@@ -46,6 +48,7 @@ impl fmt::Display for DataflowError {
                     "out of memory: requested {requested} bytes with budget {budget}"
                 )
             }
+            DataflowError::Spill(m) => write!(f, "spill error: {m}"),
         }
     }
 }

@@ -233,6 +233,7 @@ mod sender_tests {
             counters: Counters::new(),
             gate: CoreGate::unlimited(),
             profiler: None,
+            spill: crate::spill::SpillCtx::unlimited(),
         }
     }
 

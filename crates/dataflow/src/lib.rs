@@ -23,6 +23,9 @@
 //!   like the paper's hyper-threading experiment (Fig. 17).
 //! * [`stats`] — memory and network accounting (peak materialized bytes,
 //!   bytes crossing node boundaries), used by the Table-3 reproduction.
+//! * [`spill`] — memory-bounded execution: per-operator memory grants
+//!   drawn from the job budget, plus the run-file layer the external
+//!   sort, grace hash join and spilling group-by overflow into.
 //! * [`profile`] — always-on per-operator metrics (tuples/frames/bytes
 //!   in and out, busy and emit-stall time) collected by interleaved
 //!   probes, aggregated into a [`profile::JobProfile`].
@@ -39,6 +42,7 @@ pub mod frame;
 pub mod job;
 pub mod ops;
 pub mod profile;
+pub mod spill;
 pub mod stats;
 pub mod trace;
 
@@ -51,5 +55,6 @@ pub use job::{
     StageKind, TwoInputFactory, TwoInputOp,
 };
 pub use profile::{JobProfile, OpProfile, OpSummary, Profiler};
+pub use spill::{MemGrant, SpillConfig, SpillCtx, SpillHandle, SpillOpProfile, SpillSummary};
 pub use stats::{JobStats, MemTracker};
 pub use trace::{ArgValue, TraceBuffer, TraceEvent};

@@ -4,21 +4,34 @@
 //! * [`MaterializingGroupByOp`] is the pre-rewrite plan (Fig. 9): the inner
 //!   focus is `AGGREGATE sequence`, so every group buffers a **sequence of
 //!   its members** and downstream operators compute `count(...)` over the
-//!   materialized sequence. Its memory use is reported to the tracker —
-//!   this is what the group-by rules eliminate.
+//!   materialized sequence. It cannot spill (the sequences must exist in
+//!   full), so it grows its grant unconditionally — budget violations are
+//!   flagged on the job instead of enforced. This is what the group-by
+//!   rewrite rules eliminate.
 //! * [`HashGroupByOp`] is the post-rewrite plan (Fig. 12): the aggregate is
 //!   pushed into the group-by, so each group holds only incremental
 //!   aggregator state ("the count function is computed at the same time
-//!   that each group is formed, without creating any sequences").
+//!   that each group is formed, without creating any sequences"). Under
+//!   budget pressure it spills with a *frozen-table* scheme: when a new
+//!   group no longer fits, the in-memory table is frozen — tuples of
+//!   already-seen keys keep aggregating in place, tuples of unseen keys
+//!   are hash-partitioned to run files — and each partition is aggregated
+//!   recursively (with level-seeded hashes) after the in-memory groups are
+//!   emitted. This stays correct for any [`Aggregator`], since every
+//!   group's tuples end up stepped into exactly one aggregator instance.
 
 use super::eval::{Aggregator, AggregatorFactory};
 use super::{BoxWriter, FrameWriter, OutBuffer};
-use crate::error::Result;
+use crate::error::{DataflowError, Result};
 use crate::frame::{Frame, TupleRef};
-use crate::stats::MemTracker;
+use crate::spill::{part_hash, MemGrant, RunReader, RunToken, RunWriter, SpillHandle};
 use jdm::binary::{item_len, write_sequence_from_parts};
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Per-group bookkeeping overhead charged to the memory grant on top of
+/// the key bytes (hash-table slot, aggregator state estimate).
+const GROUP_OVERHEAD: usize = 64;
 
 /// Concatenated serialized key items, splittable via `item_len`.
 type GroupKey = Box<[u8]>;
@@ -31,26 +44,38 @@ fn extract_key(t: &TupleRef<'_>, key_fields: &[usize]) -> GroupKey {
     key.into_boxed_slice()
 }
 
-/// Split a concatenated key back into per-field slices.
-fn split_key(key: &[u8], n: usize) -> Vec<&[u8]> {
+/// Split a concatenated key back into per-field slices. Keys built by
+/// [`extract_key`] are always well-formed, but keys read back from spill
+/// files cross a disk round-trip, so corruption surfaces as an error
+/// rather than a panic.
+fn split_key(key: &[u8], n: usize) -> Result<Vec<&[u8]>> {
     let mut out = Vec::with_capacity(n);
     let mut rest = key;
     for _ in 0..n {
-        let len = item_len(rest).expect("well-formed key bytes");
+        let len = item_len(rest)
+            .map_err(|e| DataflowError::BadFrame(format!("corrupt group key bytes: {e}")))?;
+        if len > rest.len() {
+            return Err(DataflowError::BadFrame(
+                "group key item overruns key bytes".into(),
+            ));
+        }
         out.push(&rest[..len]);
         rest = &rest[len..];
     }
-    out
+    Ok(out)
 }
 
-/// Hash-based grouped aggregation with incremental per-group state.
-/// Output tuples: `(key fields ..., aggregate result)`.
+/// Hash-based grouped aggregation with incremental per-group state and
+/// frozen-table spilling. Output tuples: `(key fields ..., aggregate
+/// result)`.
 pub struct HashGroupByOp {
     key_fields: Vec<usize>,
     factory: Arc<dyn AggregatorFactory>,
     groups: HashMap<GroupKey, Box<dyn Aggregator>>,
-    mem: Arc<MemTracker>,
-    tracked: usize,
+    grant: MemGrant,
+    spill: SpillHandle,
+    /// Level-1 partition writers, present once the table is frozen.
+    parts: Option<Vec<RunWriter>>,
     out: OutBuffer,
 }
 
@@ -58,7 +83,7 @@ impl HashGroupByOp {
     pub fn new(
         key_fields: Vec<usize>,
         factory: Arc<dyn AggregatorFactory>,
-        mem: Arc<MemTracker>,
+        spill: SpillHandle,
         frame_size: usize,
         out: BoxWriter,
     ) -> Self {
@@ -66,10 +91,96 @@ impl HashGroupByOp {
             key_fields,
             factory,
             groups: HashMap::new(),
-            mem,
-            tracked: 0,
+            grant: spill.grant(),
+            spill,
+            parts: None,
             out: OutBuffer::new(frame_size, out),
         }
+    }
+
+    fn open_parts(spill: &SpillHandle) -> Result<Vec<RunWriter>> {
+        (0..spill.config().partitions())
+            .map(|_| spill.new_run())
+            .collect()
+    }
+
+    /// Finish partition writers into tokens, recording their volume.
+    fn seal_parts(spill: &SpillHandle, parts: Vec<RunWriter>) -> Result<Vec<RunToken>> {
+        let mut tokens = Vec::with_capacity(parts.len());
+        for w in parts {
+            let token = w.finish()?;
+            spill.note_spilled(token.bytes, token.tuples);
+            tokens.push(token);
+        }
+        Ok(tokens)
+    }
+
+    /// Emit `(key fields ..., result)` for every group and drop the state.
+    fn emit_groups(
+        groups: HashMap<GroupKey, Box<dyn Aggregator>>,
+        nkeys: usize,
+        out: &mut OutBuffer,
+    ) -> Result<()> {
+        // Deterministic output order is left to consumers (group order is
+        // hash-table order, as in a real hash group-by).
+        let mut result = Vec::new();
+        for (key, mut agg) in groups {
+            result.clear();
+            agg.finish(&mut result)?;
+            let mut fields = split_key(&key, nkeys)?;
+            fields.push(&result);
+            out.push_fields(&fields)?;
+        }
+        Ok(())
+    }
+
+    /// Aggregate one spilled partition, re-partitioning at `level` if it
+    /// still does not fit. Past the recursion cap (pathological key
+    /// distributions) the violation is tolerated and flagged instead.
+    fn aggregate_run(&mut self, token: RunToken, level: usize) -> Result<()> {
+        let mut groups: HashMap<GroupKey, Box<dyn Aggregator>> = HashMap::new();
+        let mut sub: Option<Vec<RunWriter>> = None;
+        let mut rd = RunReader::open(token)?;
+        let mut buf = Vec::new();
+        while rd.next_into(&mut buf)? {
+            let t = TupleRef::from_bytes(&buf);
+            let key = extract_key(&t, &self.key_fields);
+            if let Some(agg) = groups.get_mut(&key) {
+                agg.step(&t)?;
+                continue;
+            }
+            if sub.is_none() {
+                let cost = key.len() + GROUP_OVERHEAD;
+                if self.grant.try_grow(cost) {
+                    let mut agg = self.factory.create();
+                    agg.step(&t)?;
+                    groups.insert(key, agg);
+                    continue;
+                }
+                if level > self.spill.config().max_recursion {
+                    // Cannot split further; `grow_anyway` flags the job.
+                    self.grant.grow_anyway(cost);
+                    let mut agg = self.factory.create();
+                    agg.step(&t)?;
+                    groups.insert(key, agg);
+                    continue;
+                }
+                self.spill.note_recursion(level as u64);
+                sub = Some(Self::open_parts(&self.spill)?);
+            }
+            let parts = sub.as_mut().expect("just created");
+            let dst = (part_hash(&key, level as u64) % parts.len() as u64) as usize;
+            parts[dst].push(&[t.bytes()])?;
+        }
+        drop(rd); // consumed: delete before recursing
+        Self::emit_groups(groups, self.key_fields.len(), &mut self.out)?;
+        self.grant.release_all();
+        if let Some(parts) = sub {
+            for token in Self::seal_parts(&self.spill, parts)? {
+                self.aggregate_run(token, level + 1)?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -85,31 +196,42 @@ impl FrameWriter for HashGroupByOp {
     fn next_frame(&mut self, frame: &Frame) -> Result<()> {
         for t in frame.tuples() {
             let key = extract_key(&t, &self.key_fields);
-            let agg = self.groups.entry(key).or_insert_with(|| {
-                self.tracked += 64; // key + fixed state estimate
-                self.mem.alloc(64);
-                self.factory.create()
-            });
-            agg.step(&t)?;
+            // Frozen or not, tuples of already-seen keys aggregate in
+            // place — only *new* groups cost memory.
+            if let Some(agg) = self.groups.get_mut(&key) {
+                agg.step(&t)?;
+                continue;
+            }
+            if self.parts.is_none() {
+                let cost = key.len() + GROUP_OVERHEAD;
+                if self.grant.try_grow(cost) {
+                    let mut agg = self.factory.create();
+                    agg.step(&t)?;
+                    self.groups.insert(key, agg);
+                    continue;
+                }
+                // Freeze the table; unseen keys go to disk from here on.
+                self.spill.note_recursion(1);
+                self.parts = Some(Self::open_parts(&self.spill)?);
+            }
+            let parts = self.parts.as_mut().expect("frozen table has parts");
+            let dst = (part_hash(&key, 1) % parts.len() as u64) as usize;
+            parts[dst].push(&[t.bytes()])?;
         }
         Ok(())
     }
 
     fn close(&mut self) -> Result<()> {
-        // Deterministic output order is left to consumers (group order is
-        // hash-table order, as in a real hash group-by).
         let groups = std::mem::take(&mut self.groups);
-        let nkeys = self.key_fields.len();
-        let mut result = Vec::new();
-        for (key, mut agg) in groups {
-            result.clear();
-            agg.finish(&mut result)?;
-            let mut fields = split_key(&key, nkeys);
-            fields.push(&result);
-            self.out.push_fields(&fields)?;
+        Self::emit_groups(groups, self.key_fields.len(), &mut self.out)?;
+        self.grant.release_all();
+        if let Some(parts) = self.parts.take() {
+            for token in Self::seal_parts(&self.spill, parts)? {
+                self.aggregate_run(token, 2)?;
+            }
         }
-        self.mem.free(self.tracked);
-        self.tracked = 0;
+        self.spill.finish(&self.grant);
+        self.grant.release_all();
         self.out.close()
     }
 }
@@ -120,8 +242,8 @@ pub struct MaterializingGroupByOp {
     key_fields: Vec<usize>,
     seq_field: usize,
     groups: HashMap<GroupKey, Vec<Vec<u8>>>,
-    mem: Arc<MemTracker>,
-    tracked: usize,
+    grant: MemGrant,
+    spill: SpillHandle,
     out: OutBuffer,
 }
 
@@ -129,7 +251,7 @@ impl MaterializingGroupByOp {
     pub fn new(
         key_fields: Vec<usize>,
         seq_field: usize,
-        mem: Arc<MemTracker>,
+        spill: SpillHandle,
         frame_size: usize,
         out: BoxWriter,
     ) -> Self {
@@ -137,8 +259,8 @@ impl MaterializingGroupByOp {
             key_fields,
             seq_field,
             groups: HashMap::new(),
-            mem,
-            tracked: 0,
+            grant: spill.grant(),
+            spill,
             out: OutBuffer::new(frame_size, out),
         }
     }
@@ -157,8 +279,9 @@ impl FrameWriter for MaterializingGroupByOp {
         for t in frame.tuples() {
             let key = extract_key(&t, &self.key_fields);
             let member = t.field(self.seq_field).to_vec();
-            self.tracked += member.len();
-            self.mem.alloc(member.len());
+            // Sequences must materialize in full, so violations are
+            // tolerated — but now observable as `budget_exceeded`.
+            self.grant.grow_anyway(member.len());
             self.groups.entry(key).or_default().push(member);
         }
         Ok(())
@@ -172,12 +295,12 @@ impl FrameWriter for MaterializingGroupByOp {
             seq.clear();
             let parts: Vec<&[u8]> = members.iter().map(|m| m.as_slice()).collect();
             write_sequence_from_parts(&parts, &mut seq);
-            let mut fields = split_key(&key, nkeys);
+            let mut fields = split_key(&key, nkeys)?;
             fields.push(&seq);
             self.out.push_fields(&fields)?;
         }
-        self.mem.free(self.tracked);
-        self.tracked = 0;
+        self.spill.finish(&self.grant);
+        self.grant.release_all();
         self.out.close()
     }
 }
@@ -186,6 +309,8 @@ impl FrameWriter for MaterializingGroupByOp {
 mod tests {
     use super::super::testutil::{feed, CaptureWriter};
     use super::*;
+    use crate::spill::{SpillConfig, SpillCtx};
+    use crate::stats::MemTracker;
     use jdm::binary::write_item;
     use jdm::Item;
 
@@ -221,14 +346,39 @@ mod tests {
         rows
     }
 
+    fn scratch_root(name: &str) -> std::path::PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("vxq-groupby-test-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn budgeted_ctx(
+        root: &std::path::Path,
+        budget: usize,
+        max_recursion: usize,
+    ) -> std::sync::Arc<SpillCtx> {
+        SpillCtx::new(
+            MemTracker::with_budget(budget),
+            SpillConfig {
+                dir: Some(root.to_path_buf()),
+                spill_partitions: 4,
+                max_recursion,
+                ..SpillConfig::default()
+            },
+        )
+    }
+
     #[test]
     fn hash_group_by_counts_per_group() {
         let cap = CaptureWriter::new();
-        let mem = MemTracker::new();
+        let ctx = SpillCtx::unlimited();
+        let mem = ctx.memory().clone();
         let mut op = HashGroupByOp::new(
             vec![0],
             Arc::new(CountFactory),
-            mem.clone(),
+            ctx.handle("HASH-GROUP-BY", 0, 0),
             1024,
             Box::new(cap.clone()),
         );
@@ -248,9 +398,15 @@ mod tests {
     #[test]
     fn materializing_group_by_builds_sequences() {
         let cap = CaptureWriter::new();
-        let mem = MemTracker::new();
-        let mut op =
-            MaterializingGroupByOp::new(vec![0], 1, mem.clone(), 1024, Box::new(cap.clone()));
+        let ctx = SpillCtx::unlimited();
+        let mem = ctx.memory().clone();
+        let mut op = MaterializingGroupByOp::new(
+            vec![0],
+            1,
+            ctx.handle("MAT-GROUP-BY", 0, 0),
+            1024,
+            Box::new(cap.clone()),
+        );
         feed(&mut op, &rows());
         let got = sorted(cap.take());
         assert_eq!(got.len(), 3);
@@ -276,21 +432,23 @@ mod tests {
             })
             .collect();
 
-        let mem_mat = MemTracker::new();
+        let ctx_mat = SpillCtx::unlimited();
+        let mem_mat = ctx_mat.memory().clone();
         let mut mat = MaterializingGroupByOp::new(
             vec![0],
             1,
-            mem_mat.clone(),
+            ctx_mat.handle("MAT-GROUP-BY", 0, 0),
             4096,
             Box::new(CaptureWriter::new()),
         );
         feed(&mut mat, &big_rows);
 
-        let mem_hash = MemTracker::new();
+        let ctx_hash = SpillCtx::unlimited();
+        let mem_hash = ctx_hash.memory().clone();
         let mut hash = HashGroupByOp::new(
             vec![0],
             Arc::new(CountFactory),
-            mem_hash.clone(),
+            ctx_hash.handle("HASH-GROUP-BY", 0, 0),
             4096,
             Box::new(CaptureWriter::new()),
         );
@@ -305,12 +463,32 @@ mod tests {
     }
 
     #[test]
+    fn materializing_over_budget_flags_the_job() {
+        let ctx = SpillCtx::new(MemTracker::with_budget(64), SpillConfig::default());
+        let mut op = MaterializingGroupByOp::new(
+            vec![0],
+            1,
+            ctx.handle("MAT-GROUP-BY", 0, 0),
+            4096,
+            Box::new(CaptureWriter::new()),
+        );
+        let big_rows: Vec<Vec<Item>> = (0..50)
+            .map(|i| vec![Item::str("k"), Item::str("x".repeat(40) + &i.to_string())])
+            .collect();
+        feed(&mut op, &big_rows);
+        let s = ctx.summary();
+        assert!(s.budget_exceeded, "violation must be observable");
+        assert!(!s.spilled(), "materializing never spills");
+        assert_eq!(ctx.memory().current(), 0, "grant released at close");
+    }
+
+    #[test]
     fn multi_field_keys() {
         let cap = CaptureWriter::new();
         let mut op = HashGroupByOp::new(
             vec![0, 1],
             Arc::new(CountFactory),
-            MemTracker::new(),
+            SpillCtx::unlimited().handle("HASH-GROUP-BY", 0, 0),
             1024,
             Box::new(cap.clone()),
         );
@@ -324,5 +502,91 @@ mod tests {
         got.sort_by(|a, b| a[1].total_cmp(&b[1]));
         assert_eq!(got[0], vec![Item::str("s"), Item::int(1), Item::int(2)]);
         assert_eq!(got[1], vec![Item::str("s"), Item::int(2), Item::int(1)]);
+    }
+
+    #[test]
+    fn split_key_rejects_corrupt_bytes() {
+        // Truncated / garbage key bytes come back as an error, not a panic.
+        assert!(split_key(b"", 1).is_err());
+    }
+
+    #[test]
+    fn spilling_group_by_matches_in_memory() {
+        // 100 distinct keys, ~3 tuples each, under a budget that fits only
+        // a handful of groups: the table freezes, partitions spill, and
+        // recursive aggregation must still produce exact counts.
+        let rows: Vec<Vec<Item>> = (0..300u64)
+            .map(|i| {
+                let k = (i.wrapping_mul(2654435761) >> 5) % 100;
+                vec![Item::str(format!("key-{k:03}")), Item::int(i as i64)]
+            })
+            .collect();
+
+        let cap_mem = CaptureWriter::new();
+        let mut in_mem = HashGroupByOp::new(
+            vec![0],
+            Arc::new(CountFactory),
+            SpillCtx::unlimited().handle("HASH-GROUP-BY", 0, 0),
+            4096,
+            Box::new(cap_mem.clone()),
+        );
+        feed(&mut in_mem, &rows);
+        let expect = sorted(cap_mem.take());
+        assert_eq!(expect.len(), 100);
+
+        let root = scratch_root("matches");
+        let ctx = budgeted_ctx(&root, 1024, 6);
+        let cap_ext = CaptureWriter::new();
+        let mut ext = HashGroupByOp::new(
+            vec![0],
+            Arc::new(CountFactory),
+            ctx.handle("HASH-GROUP-BY", 0, 0),
+            4096,
+            Box::new(cap_ext.clone()),
+        );
+        feed(&mut ext, &rows);
+        assert_eq!(sorted(cap_ext.take()), expect);
+        let s = ctx.summary();
+        assert!(s.spilled(), "budget must have forced a freeze: {s:?}");
+        assert!(s.max_recursion >= 1);
+        assert!(!s.budget_exceeded, "spilling avoids violations: {s:?}");
+        assert_eq!(ctx.memory().current(), 0, "grant released at close");
+        drop(ext);
+        drop(ctx);
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn recursion_cap_tolerates_overflow_but_stays_correct() {
+        // max_recursion = 1 forbids re-partitioning, so the level-2
+        // aggregation of each partition must grow past the budget — the
+        // counts stay exact and the job is flagged.
+        let rows: Vec<Vec<Item>> = (0..180u64)
+            .map(|i| {
+                let k = i % 60;
+                vec![Item::str(format!("key-{k:03}")), Item::int(i as i64)]
+            })
+            .collect();
+        let root = scratch_root("cap");
+        let ctx = budgeted_ctx(&root, 256, 1);
+        let cap = CaptureWriter::new();
+        let mut op = HashGroupByOp::new(
+            vec![0],
+            Arc::new(CountFactory),
+            ctx.handle("HASH-GROUP-BY", 0, 0),
+            4096,
+            Box::new(cap.clone()),
+        );
+        feed(&mut op, &rows);
+        let got = sorted(cap.take());
+        assert_eq!(got.len(), 60);
+        assert!(got.iter().all(|r| r[1] == Item::int(3)), "{got:?}");
+        let s = ctx.summary();
+        assert!(s.spilled());
+        assert!(s.budget_exceeded, "capped recursion flags the job: {s:?}");
+        assert_eq!(ctx.memory().current(), 0);
+        drop(op);
+        drop(ctx);
+        let _ = std::fs::remove_dir_all(root);
     }
 }

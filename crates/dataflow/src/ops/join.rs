@@ -1,24 +1,38 @@
-//! Hash join (build + probe), used by the self-join query Q2.
+//! Hash join (build + probe), used by the self-join query Q2 — grace
+//! (partitioned) variant when the build side overflows its memory grant.
+//!
+//! In memory the operator is the classic build/probe hash join. When a
+//! build-side insertion is refused by the [`MemGrant`], the operator
+//! switches to grace mode: the table drains into `P` build run files
+//! partitioned by a level-seeded hash of the join key, the remaining
+//! build tuples stream straight to those files, and the probe side is
+//! partitioned the same way. At close each (build, probe) partition pair
+//! is joined independently; a pair whose build half *still* exceeds the
+//! grant re-partitions recursively with the next level's hash. At the
+//! configured recursion limit the operator falls back to proceeding
+//! over-budget (flagged as `budget_exceeded`) — the all-duplicates key
+//! distribution cannot be split by any hash.
 
 use super::{BoxWriter, FrameWriter, OutBuffer};
 use crate::error::Result;
 use crate::frame::{Frame, TupleRef};
-use crate::stats::MemTracker;
+use crate::spill::{part_hash, MemGrant, RunReader, RunToken, RunWriter, SpillHandle};
 use std::collections::HashMap;
-use std::sync::Arc;
 
-/// In-memory equi hash join. The runtime feeds the whole build side first
-/// (via [`HashJoinOp::build_frame`]), then streams the probe side. Output
-/// tuples are `probe fields ++ build fields`.
-///
-/// The build table is reported to the memory tracker: it is *the* big
-/// materialized state of Q2 and dominates the join's footprint.
+/// Equi hash join with grace-style spilling. The runtime feeds the whole
+/// build side first (via [`HashJoinOp::build_frame`]), then streams the
+/// probe side. Output tuples are `probe fields ++ build fields`.
 pub struct HashJoinOp {
     build_keys: Vec<usize>,
     probe_keys: Vec<usize>,
     table: HashMap<Box<[u8]>, Vec<Box<[u8]>>>,
-    mem: Arc<MemTracker>,
-    tracked: usize,
+    grant: MemGrant,
+    spill: SpillHandle,
+    /// Partition run writers, present once the build side has spilled.
+    build_parts: Option<Vec<RunWriter>>,
+    /// Sealed build partitions (writers finished at `build_done`).
+    build_tokens: Vec<RunToken>,
+    probe_parts: Option<Vec<RunWriter>>,
     out: OutBuffer,
 }
 
@@ -26,7 +40,7 @@ impl HashJoinOp {
     pub fn new(
         build_keys: Vec<usize>,
         probe_keys: Vec<usize>,
-        mem: Arc<MemTracker>,
+        spill: SpillHandle,
         frame_size: usize,
         out: BoxWriter,
     ) -> Self {
@@ -34,8 +48,11 @@ impl HashJoinOp {
             build_keys,
             probe_keys,
             table: HashMap::new(),
-            mem,
-            tracked: 0,
+            grant: spill.grant(),
+            spill,
+            build_parts: None,
+            build_tokens: Vec::new(),
+            probe_parts: None,
             out: OutBuffer::new(frame_size, out),
         }
     }
@@ -48,35 +65,219 @@ impl HashJoinOp {
         key.into_boxed_slice()
     }
 
-    /// Add one build-side frame to the table.
+    fn open_parts(&self, n: usize) -> Result<Vec<RunWriter>> {
+        (0..n).map(|_| self.spill.new_run()).collect()
+    }
+
+    /// Switch to grace mode: drain the in-memory table into partition run
+    /// files and release its grant.
+    fn begin_build_spill(&mut self) -> Result<()> {
+        let n = self.spill.config().partitions();
+        let mut parts = self.open_parts(n)?;
+        self.spill.note_recursion(1);
+        for (key, tuples) in std::mem::take(&mut self.table) {
+            let p = (part_hash(&key, 1) % n as u64) as usize;
+            for t in tuples {
+                parts[p].push(&[&t])?;
+            }
+        }
+        self.grant.release_all();
+        self.build_parts = Some(parts);
+        Ok(())
+    }
+
+    /// Add one build-side frame (to the table, or to partition files once
+    /// spilled).
     pub fn build_frame(&mut self, frame: &Frame) -> Result<()> {
         for t in frame.tuples() {
             let key = Self::key_of(&t, &self.build_keys);
             let bytes: Box<[u8]> = t.bytes().into();
-            self.tracked += key.len() + bytes.len();
-            self.mem.alloc(key.len() + bytes.len());
-            self.table.entry(key).or_default().push(bytes);
+            if self.build_parts.is_none() {
+                if self.grant.try_grow(key.len() + bytes.len()) {
+                    self.table.entry(key).or_default().push(bytes);
+                    continue;
+                }
+                self.begin_build_spill()?;
+            }
+            let parts = self.build_parts.as_mut().expect("spilled above");
+            let p = (part_hash(&key, 1) % parts.len() as u64) as usize;
+            parts[p].push(&[&bytes])?;
         }
         Ok(())
     }
 
-    /// Stream one probe-side frame, emitting matches.
+    /// Seal the build side. In grace mode this finishes the build
+    /// partition writers and opens the probe-side ones.
+    pub fn build_done(&mut self) -> Result<()> {
+        if let Some(parts) = self.build_parts.take() {
+            for w in parts {
+                let token = w.finish()?;
+                self.spill.note_spilled(token.bytes, token.tuples);
+                self.build_tokens.push(token);
+            }
+            self.probe_parts = Some(self.open_parts(self.build_tokens.len())?);
+        }
+        Ok(())
+    }
+
+    /// Stream one probe-side frame: probe the in-memory table, or route
+    /// to probe partition files in grace mode.
     pub fn probe_frame(&mut self, frame: &Frame) -> Result<()> {
+        if let Some(parts) = self.probe_parts.as_mut() {
+            for t in frame.tuples() {
+                let key = Self::key_of(&t, &self.probe_keys);
+                let p = (part_hash(&key, 1) % parts.len() as u64) as usize;
+                parts[p].push(&[t.bytes()])?;
+            }
+            return Ok(());
+        }
         for t in frame.tuples() {
             let key = Self::key_of(&t, &self.probe_keys);
-            if let Some(matches) = self.table.get(key.as_ref()) {
-                for m in matches {
-                    let build = TupleRef::from_bytes(m);
-                    let mut fields: Vec<&[u8]> =
-                        Vec::with_capacity(t.field_count() + build.field_count());
-                    fields.extend(t.fields());
-                    fields.extend(build.fields());
-                    self.out.push_fields(&fields)?;
+            emit_matches(&mut self.out, &t, self.table.get(key.as_ref()))?;
+        }
+        Ok(())
+    }
+
+    /// Join one (build, probe) partition pair, re-partitioning recursively
+    /// when the build half still overflows the grant.
+    fn join_partition(&mut self, build: RunToken, probe: RunToken, level: u64) -> Result<()> {
+        if build.tuples == 0 {
+            // No build rows → no matches; open the probe run only to let
+            // the reader delete it.
+            let _ = RunReader::open(probe)?;
+            let _ = RunReader::open(build)?;
+            return Ok(());
+        }
+        let mut table: HashMap<Box<[u8]>, Vec<Box<[u8]>>> = HashMap::new();
+        let mut build_rd = RunReader::open(build)?;
+        let mut buf = Vec::new();
+        while build_rd.next_into(&mut buf)? {
+            let t = TupleRef::from_bytes(&buf);
+            let key = Self::key_of(&t, &self.build_keys);
+            let bytes: Box<[u8]> = buf.as_slice().into();
+            if !self.grant.try_grow(key.len() + bytes.len()) {
+                if level >= self.spill.config().max_recursion as u64 {
+                    // Un-splittable (e.g. one giant key): proceed
+                    // over-budget, visibly.
+                    self.spill.note_budget_exceeded();
+                    self.grant.grow_anyway(key.len() + bytes.len());
+                } else {
+                    // Re-partition this pair one level deeper. The table,
+                    // the current tuple and the rest of the reader all go
+                    // back to disk under the next level's hash.
+                    return self.repartition(table, bytes, build_rd, probe, level + 1);
                 }
+            }
+            table.entry(key).or_default().push(bytes);
+        }
+        drop(build_rd);
+        let mut probe_rd = RunReader::open(probe)?;
+        while probe_rd.next_into(&mut buf)? {
+            let t = TupleRef::from_bytes(&buf);
+            let key = Self::key_of(&t, &self.probe_keys);
+            emit_matches(&mut self.out, &t, table.get(key.as_ref()))?;
+        }
+        drop(table);
+        self.grant.release_all();
+        Ok(())
+    }
+
+    /// Split a partition pair into sub-partitions under `level`'s hash and
+    /// join each sub-pair.
+    fn repartition(
+        &mut self,
+        table: HashMap<Box<[u8]>, Vec<Box<[u8]>>>,
+        pending: Box<[u8]>,
+        mut build_rd: RunReader,
+        probe: RunToken,
+        level: u64,
+    ) -> Result<()> {
+        let n = self.spill.config().partitions();
+        self.spill.note_recursion(level);
+        let route = |key: &[u8]| (part_hash(key, level) % n as u64) as usize;
+
+        let mut build_parts = self.open_parts(n)?;
+        for (key, tuples) in table {
+            let p = route(&key);
+            for t in tuples {
+                build_parts[p].push(&[&t])?;
+            }
+        }
+        self.grant.release_all();
+        {
+            let t = TupleRef::from_bytes(&pending);
+            let key = Self::key_of(&t, &self.build_keys);
+            build_parts[route(&key)].push(&[&pending])?;
+        }
+        let mut buf = Vec::new();
+        while build_rd.next_into(&mut buf)? {
+            let t = TupleRef::from_bytes(&buf);
+            let key = Self::key_of(&t, &self.build_keys);
+            build_parts[route(&key)].push(&[&buf])?;
+        }
+        drop(build_rd);
+        let build_tokens: Vec<RunToken> = build_parts
+            .into_iter()
+            .map(|w| {
+                let token = w.finish()?;
+                self.spill.note_spilled(token.bytes, token.tuples);
+                Ok(token)
+            })
+            .collect::<Result<_>>()?;
+
+        let mut probe_parts = self.open_parts(n)?;
+        let mut probe_rd = RunReader::open(probe)?;
+        while probe_rd.next_into(&mut buf)? {
+            let t = TupleRef::from_bytes(&buf);
+            let key = Self::key_of(&t, &self.probe_keys);
+            probe_parts[route(&key)].push(&[&buf])?;
+        }
+        drop(probe_rd);
+        let probe_tokens: Vec<RunToken> = probe_parts
+            .into_iter()
+            .map(|w| w.finish())
+            .collect::<Result<_>>()?;
+
+        for (b, p) in build_tokens.into_iter().zip(probe_tokens) {
+            self.join_partition(b, p, level)?;
+        }
+        Ok(())
+    }
+
+    fn finish_streams(&mut self) -> Result<()> {
+        // Flush any probe partitions and join the partition pairs. (The
+        // in-memory path has nothing to do here.)
+        if let Some(parts) = self.probe_parts.take() {
+            let probe_tokens: Vec<RunToken> = parts
+                .into_iter()
+                .map(|w| w.finish())
+                .collect::<Result<_>>()?;
+            let build_tokens = std::mem::take(&mut self.build_tokens);
+            for (b, p) in build_tokens.into_iter().zip(probe_tokens) {
+                self.join_partition(b, p, 2)?;
             }
         }
         Ok(())
     }
+}
+
+/// Emit `probe fields ++ build fields` for every build match.
+fn emit_matches(
+    out: &mut OutBuffer,
+    probe: &TupleRef<'_>,
+    matches: Option<&Vec<Box<[u8]>>>,
+) -> Result<()> {
+    let Some(matches) = matches else {
+        return Ok(());
+    };
+    for m in matches {
+        let build = TupleRef::from_bytes(m);
+        let mut fields: Vec<&[u8]> = Vec::with_capacity(probe.field_count() + build.field_count());
+        fields.extend(probe.fields());
+        fields.extend(build.fields());
+        out.push_fields(&fields)?;
+    }
+    Ok(())
 }
 
 impl FrameWriter for HashJoinOp {
@@ -95,9 +296,10 @@ impl FrameWriter for HashJoinOp {
     }
 
     fn close(&mut self) -> Result<()> {
+        self.finish_streams()?;
         self.table.clear();
-        self.mem.free(self.tracked);
-        self.tracked = 0;
+        self.spill.finish(&self.grant);
+        self.grant.release_all();
         self.out.close()
     }
 }
@@ -113,6 +315,9 @@ impl crate::job::TwoInputOp for HashJoinOp {
     fn build_frame(&mut self, frame: &Frame) -> Result<()> {
         HashJoinOp::build_frame(self, frame)
     }
+    fn build_done(&mut self) -> Result<()> {
+        HashJoinOp::build_done(self)
+    }
     fn probe_frame(&mut self, frame: &Frame) -> Result<()> {
         HashJoinOp::probe_frame(self, frame)
     }
@@ -125,8 +330,11 @@ impl crate::job::TwoInputOp for HashJoinOp {
 mod tests {
     use super::super::testutil::{feed, CaptureWriter};
     use super::*;
+    use crate::spill::{SpillConfig, SpillCtx};
+    use crate::stats::MemTracker;
     use jdm::binary::to_bytes;
     use jdm::Item;
+    use std::sync::Arc;
 
     fn to_frames(rows: &[Vec<Item>]) -> Vec<Frame> {
         let encoded: Vec<Vec<Vec<u8>>> = rows
@@ -136,28 +344,63 @@ mod tests {
         crate::frame::frames_from_rows(&encoded, 4096)
     }
 
-    #[test]
-    fn joins_on_key() {
+    fn unlimited_handle() -> crate::spill::SpillHandle {
+        SpillCtx::unlimited().handle("HASH-JOIN", 0, 0)
+    }
+
+    fn scratch_root(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("vxq-join-test-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn budgeted_ctx(root: &std::path::Path, budget: usize, parts: usize) -> Arc<SpillCtx> {
+        SpillCtx::new(
+            MemTracker::with_budget(budget),
+            SpillConfig {
+                dir: Some(root.to_path_buf()),
+                spill_partitions: parts,
+                ..SpillConfig::default()
+            },
+        )
+    }
+
+    fn run_join(
+        handle: crate::spill::SpillHandle,
+        build: &[Vec<Item>],
+        probe: &[Vec<Item>],
+    ) -> Vec<Vec<Item>> {
         let cap = CaptureWriter::new();
-        let mem = MemTracker::new();
-        let mut join = HashJoinOp::new(vec![0], vec![0], mem.clone(), 1024, Box::new(cap.clone()));
-        join.open().unwrap();
-        for f in to_frames(&[
-            vec![Item::str("a"), Item::int(1)],
-            vec![Item::str("b"), Item::int(2)],
-            vec![Item::str("a"), Item::int(3)],
-        ]) {
+        let mut join = HashJoinOp::new(vec![0], vec![0], handle, 1024, Box::new(cap.clone()));
+        FrameWriter::open(&mut join).unwrap();
+        for f in to_frames(build) {
             join.build_frame(&f).unwrap();
         }
-        for f in to_frames(&[
-            vec![Item::str("a"), Item::int(10)],
-            vec![Item::str("c"), Item::int(30)],
-        ]) {
+        join.build_done().unwrap();
+        for f in to_frames(probe) {
             join.probe_frame(&f).unwrap();
         }
-        join.close().unwrap();
+        FrameWriter::close(&mut join).unwrap();
+        cap.take()
+    }
 
-        let mut got = cap.take();
+    #[test]
+    fn joins_on_key() {
+        let ctx = SpillCtx::unlimited();
+        let mem = ctx.memory().clone();
+        let mut got = run_join(
+            ctx.handle("HASH-JOIN", 0, 0),
+            &[
+                vec![Item::str("a"), Item::int(1)],
+                vec![Item::str("b"), Item::int(2)],
+                vec![Item::str("a"), Item::int(3)],
+            ],
+            &[
+                vec![Item::str("a"), Item::int(10)],
+                vec![Item::str("c"), Item::int(30)],
+            ],
+        );
         got.sort_by(|a, b| a[3].total_cmp(&b[3]));
         assert_eq!(
             got,
@@ -176,7 +419,7 @@ mod tests {
         let mut join = HashJoinOp::new(
             vec![0],
             vec![0],
-            MemTracker::new(),
+            unlimited_handle(),
             1024,
             Box::new(cap.clone()),
         );
@@ -190,23 +433,101 @@ mod tests {
         let mut join = HashJoinOp::new(
             vec![0, 1],
             vec![0, 1],
-            MemTracker::new(),
+            unlimited_handle(),
             1024,
             Box::new(cap.clone()),
         );
-        join.open().unwrap();
+        FrameWriter::open(&mut join).unwrap();
         for f in to_frames(&[vec![Item::str("s"), Item::int(1), Item::str("build")]]) {
             join.build_frame(&f).unwrap();
         }
+        join.build_done().unwrap();
         for f in to_frames(&[
             vec![Item::str("s"), Item::int(1), Item::str("hit")],
             vec![Item::str("s"), Item::int(2), Item::str("miss")],
         ]) {
             join.probe_frame(&f).unwrap();
         }
-        join.close().unwrap();
+        FrameWriter::close(&mut join).unwrap();
         let got = cap.take();
         assert_eq!(got.len(), 1);
         assert_eq!(got[0][2], Item::str("hit"));
+    }
+
+    fn join_dataset() -> (Vec<Vec<Item>>, Vec<Vec<Item>>) {
+        // 40 keys × 5 build rows; probe hits every key twice.
+        let build: Vec<Vec<Item>> = (0..200)
+            .map(|i| vec![Item::int(i % 40), Item::int(i)])
+            .collect();
+        let probe: Vec<Vec<Item>> = (0..80)
+            .map(|i| vec![Item::int(i % 40), Item::int(1000 + i)])
+            .collect();
+        (build, probe)
+    }
+
+    fn sorted(mut rows: Vec<Vec<Item>>) -> Vec<Vec<Item>> {
+        rows.sort_by(|a, b| {
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| x.total_cmp(y))
+                .find(|o| !o.is_eq())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        rows
+    }
+
+    #[test]
+    fn grace_join_matches_in_memory_join() {
+        let (build, probe) = join_dataset();
+        let expect = sorted(run_join(unlimited_handle(), &build, &probe));
+
+        let root = scratch_root("grace");
+        let ctx = budgeted_ctx(&root, 2 * 1024, 4);
+        let got = sorted(run_join(ctx.handle("HASH-JOIN", 0, 0), &build, &probe));
+        assert_eq!(got, expect);
+        let s = ctx.summary();
+        assert!(s.spilled(), "budget must have forced grace mode: {s:?}");
+        assert!(s.max_recursion >= 1);
+        assert_eq!(ctx.memory().current(), 0);
+        drop(ctx);
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn tiny_budget_forces_recursive_partitioning() {
+        let (build, probe) = join_dataset();
+        let expect = sorted(run_join(unlimited_handle(), &build, &probe));
+
+        let root = scratch_root("recursive");
+        // 2 partitions with a budget far below a partition's size: the
+        // first-level partitions overflow again and must recurse.
+        let ctx = budgeted_ctx(&root, 256, 2);
+        let got = sorted(run_join(ctx.handle("HASH-JOIN", 0, 0), &build, &probe));
+        assert_eq!(got, expect);
+        let s = ctx.summary();
+        assert!(
+            s.max_recursion >= 2,
+            "expected recursive re-partitioning: {s:?}"
+        );
+        drop(ctx);
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn one_key_hits_recursion_cap_but_stays_correct() {
+        // Every tuple shares one key: no hash can split it, so the join
+        // must fall back to over-budget processing and flag it.
+        let build: Vec<Vec<Item>> = (0..100)
+            .map(|i| vec![Item::str("k"), Item::int(i)])
+            .collect();
+        let probe = vec![vec![Item::str("k"), Item::int(-1)]];
+        let root = scratch_root("onekey");
+        let ctx = budgeted_ctx(&root, 256, 2);
+        let got = run_join(ctx.handle("HASH-JOIN", 0, 0), &build, &probe);
+        assert_eq!(got.len(), 100, "all matches despite the cap");
+        let s = ctx.summary();
+        assert!(s.budget_exceeded, "cap fallback must be visible: {s:?}");
+        drop(ctx);
+        let _ = std::fs::remove_dir_all(root);
     }
 }

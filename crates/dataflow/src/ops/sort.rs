@@ -1,40 +1,208 @@
-//! SORT — materializing order-by.
+//! SORT — order-by as an external merge sort.
+//!
+//! Input tuples accumulate in memory under a [`MemGrant`]; when the grant
+//! is refused, the buffered rows are sorted and written out as one sorted
+//! run, and accumulation restarts. At close, runs are merged k-ways
+//! (respecting the configured fan-in, so a tight fan-in forces multiple
+//! merge passes, as in Hyracks' external sort). With no budget pressure
+//! the operator never touches disk and behaves exactly like the previous
+//! fully-materializing sort.
+//!
+//! Run record format: `[u32 klen][key bytes][tuple bytes]` inside the
+//! run-file framing — the serialized key items ride along so merges never
+//! re-evaluate sort keys.
 
 use super::eval::ScalarEvaluator;
 use super::{BoxWriter, FrameWriter, OutBuffer};
-use crate::error::Result;
+use crate::error::{DataflowError, Result};
 use crate::frame::{Frame, TupleRef};
-use crate::stats::MemTracker;
-use std::sync::Arc;
+use crate::spill::{MemGrant, RunReader, RunToken, SpillHandle};
+use jdm::binary::{item_len, ItemRef};
+use jdm::Item;
+use std::cmp::Ordering;
 
-/// Materializing sort: buffers all input tuples together with their
-/// evaluated sort keys, sorts at close, and emits in order. The buffer is
-/// reported to the memory tracker (sorting is a full materialization,
-/// like the pre-rewrite group-by).
+/// Per-row bookkeeping overhead charged to the memory grant on top of the
+/// raw tuple bytes (key items, vec headers).
+const ROW_OVERHEAD: usize = 64;
+
+/// Compare two key vectors under per-key ascending flags.
+fn cmp_keys(a: &[Item], b: &[Item], ascending: &[bool]) -> Ordering {
+    for (i, asc) in ascending.iter().enumerate() {
+        let ord = a[i].total_cmp(&b[i]);
+        let ord = if *asc { ord } else { ord.reverse() };
+        if !ord.is_eq() {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+/// External merge sort operator.
 pub struct SortOp {
     /// One evaluator per sort key, paired with `true` for ascending.
     keys: Vec<(Box<dyn ScalarEvaluator>, bool)>,
-    /// `(key items, raw tuple bytes)` pairs.
-    rows: Vec<(Vec<jdm::Item>, Box<[u8]>)>,
-    mem: Arc<MemTracker>,
-    tracked: usize,
+    /// In-memory `(key items, raw tuple bytes)` pairs of the current run.
+    rows: Vec<(Vec<Item>, Box<[u8]>)>,
+    grant: MemGrant,
+    spill: SpillHandle,
+    runs: Vec<RunToken>,
     out: OutBuffer,
 }
 
 impl SortOp {
     pub fn new(
         keys: Vec<(Box<dyn ScalarEvaluator>, bool)>,
-        mem: Arc<MemTracker>,
+        spill: SpillHandle,
         frame_size: usize,
         out: BoxWriter,
     ) -> Self {
         SortOp {
             keys,
             rows: Vec::new(),
-            mem,
-            tracked: 0,
+            grant: spill.grant(),
+            spill,
+            runs: Vec::new(),
             out: OutBuffer::new(frame_size, out),
         }
+    }
+
+    fn ascending(&self) -> Vec<bool> {
+        self.keys.iter().map(|(_, asc)| *asc).collect()
+    }
+
+    fn sort_rows(rows: &mut [(Vec<Item>, Box<[u8]>)], ascending: &[bool]) {
+        // Stable: ties keep arrival order, in memory and across runs (the
+        // merge breaks ties by run age).
+        rows.sort_by(|(a, _), (b, _)| cmp_keys(a, b, ascending));
+    }
+
+    /// Sort the buffered rows and write them out as one run, releasing
+    /// their memory.
+    fn spill_run(&mut self) -> Result<()> {
+        let ascending = self.ascending();
+        let mut rows = std::mem::take(&mut self.rows);
+        Self::sort_rows(&mut rows, &ascending);
+        let mut w = self.spill.new_run()?;
+        let mut kbuf = Vec::new();
+        for (key_items, bytes) in &rows {
+            kbuf.clear();
+            for k in key_items {
+                jdm::binary::write_item(k, &mut kbuf);
+            }
+            let klen = u32::try_from(kbuf.len())
+                .map_err(|_| DataflowError::Spill("sort key too large".into()))?;
+            w.push(&[&klen.to_le_bytes(), &kbuf, bytes])?;
+        }
+        let token = w.finish()?;
+        self.spill.note_spilled(token.bytes, token.tuples);
+        self.runs.push(token);
+        self.grant.release_all();
+        Ok(())
+    }
+
+    /// Merge a batch of runs into one new run.
+    fn merge_to_run(&mut self, tokens: Vec<RunToken>) -> Result<RunToken> {
+        let ascending = self.ascending();
+        let nkeys = self.keys.len();
+        self.spill.note_merge_pass();
+        let mut w = self.spill.new_run()?;
+        merge_runs(tokens, &ascending, nkeys, |blob, _key_end| w.push(&[blob]))?;
+        let token = w.finish()?;
+        self.spill.note_spilled(token.bytes, token.tuples);
+        Ok(token)
+    }
+}
+
+/// Merge sorted runs, feeding each winning record (whole blob + offset of
+/// its tuple bytes) to `emit`. Ties go to the older (lower-index) run,
+/// preserving global stability.
+fn merge_runs<F>(tokens: Vec<RunToken>, ascending: &[bool], nkeys: usize, mut emit: F) -> Result<()>
+where
+    F: FnMut(&[u8], usize) -> Result<()>,
+{
+    let mut cursors = Vec::with_capacity(tokens.len());
+    for token in tokens {
+        let mut c = RunCursor {
+            reader: RunReader::open(token)?,
+            blob: Vec::new(),
+            keys: Vec::new(),
+            key_end: 0,
+            done: false,
+        };
+        c.advance(nkeys)?;
+        cursors.push(c);
+    }
+    loop {
+        // Fan-in is small (config-clamped), so a linear minimum scan
+        // beats heap bookkeeping here.
+        let mut best: Option<usize> = None;
+        for (i, c) in cursors.iter().enumerate() {
+            if c.done {
+                continue;
+            }
+            best = match best {
+                None => Some(i),
+                Some(b) => {
+                    if cmp_keys(&c.keys, &cursors[b].keys, ascending).is_lt() {
+                        Some(i)
+                    } else {
+                        Some(b)
+                    }
+                }
+            };
+        }
+        let Some(i) = best else { break };
+        emit(&cursors[i].blob, cursors[i].key_end)?;
+        cursors[i].advance(nkeys)?;
+    }
+    Ok(())
+}
+
+/// One run's read head during a merge.
+struct RunCursor {
+    reader: RunReader,
+    blob: Vec<u8>,
+    keys: Vec<Item>,
+    /// Offset of the tuple bytes within `blob`.
+    key_end: usize,
+    done: bool,
+}
+
+impl RunCursor {
+    fn advance(&mut self, nkeys: usize) -> Result<()> {
+        if !self.reader.next_into(&mut self.blob)? {
+            self.done = true;
+            self.keys.clear();
+            return Ok(());
+        }
+        if self.blob.len() < 4 {
+            return Err(DataflowError::BadFrame("truncated sort run record".into()));
+        }
+        let klen =
+            u32::from_le_bytes([self.blob[0], self.blob[1], self.blob[2], self.blob[3]]) as usize;
+        self.key_end = 4 + klen;
+        if self.blob.len() < self.key_end {
+            return Err(DataflowError::BadFrame(
+                "sort run key overruns record".into(),
+            ));
+        }
+        let mut rest = &self.blob[4..self.key_end];
+        self.keys.clear();
+        for _ in 0..nkeys {
+            let len = item_len(rest)
+                .map_err(|e| DataflowError::BadFrame(format!("corrupt sort key bytes: {e}")))?;
+            let item = ItemRef::new(&rest[..len])
+                .and_then(|r| r.to_item())
+                .map_err(|e| DataflowError::BadFrame(format!("corrupt sort key bytes: {e}")))?;
+            self.keys.push(item);
+            rest = &rest[len..];
+        }
+        if !rest.is_empty() {
+            return Err(DataflowError::BadFrame(
+                "sort run key bytes have trailing garbage".into(),
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -54,36 +222,70 @@ impl FrameWriter for SortOp {
             for (eval, _) in &mut self.keys {
                 scratch.clear();
                 eval.eval(&t, &mut scratch)?;
-                let item = jdm::binary::ItemRef::new(&scratch)
+                let item = ItemRef::new(&scratch)
                     .and_then(|r| r.to_item())
-                    .map_err(|e| crate::error::DataflowError::Eval(e.to_string()))?;
+                    .map_err(|e| DataflowError::Eval(e.to_string()))?;
                 key_items.push(item);
             }
             let bytes: Box<[u8]> = t.bytes().into();
-            self.tracked += bytes.len() + 64;
-            self.mem.alloc(bytes.len() + 64);
+            let cost = bytes.len() + ROW_OVERHEAD;
+            if !self.grant.try_grow(cost) {
+                // Budget pressure: flush the buffer as a sorted run, then
+                // retry. A single tuple larger than the whole budget still
+                // has to be held somewhere — account it and flag the job.
+                if !self.rows.is_empty() {
+                    self.spill_run()?;
+                }
+                if !self.grant.try_grow(cost) {
+                    self.grant.grow_anyway(cost);
+                }
+            }
             self.rows.push((key_items, bytes));
         }
         Ok(())
     }
 
     fn close(&mut self) -> Result<()> {
-        let ascending: Vec<bool> = self.keys.iter().map(|(_, asc)| *asc).collect();
-        self.rows.sort_by(|(a, _), (b, _)| {
-            for (i, asc) in ascending.iter().enumerate() {
-                let ord = a[i].total_cmp(&b[i]);
-                let ord = if *asc { ord } else { ord.reverse() };
-                if !ord.is_eq() {
-                    return ord;
-                }
+        if self.runs.is_empty() {
+            // Pure in-memory path: sort and emit, no disk involved.
+            let ascending = self.ascending();
+            let mut rows = std::mem::take(&mut self.rows);
+            Self::sort_rows(&mut rows, &ascending);
+            for (_, bytes) in rows {
+                self.out.push_tuple(&TupleRef::from_bytes(&bytes))?;
             }
-            std::cmp::Ordering::Equal
-        });
-        for (_, bytes) in std::mem::take(&mut self.rows) {
-            self.out.push_tuple(&TupleRef::from_bytes(&bytes))?;
+        } else {
+            if !self.rows.is_empty() {
+                self.spill_run()?;
+            }
+            // Reduce the run count to the merge fan-in, oldest first so
+            // ties keep arrival order, then stream the final merge.
+            let fan = self.spill.config().fan_in();
+            while self.runs.len() > fan {
+                let old = std::mem::take(&mut self.runs);
+                let mut next = Vec::new();
+                let mut iter = old.into_iter().peekable();
+                while iter.peek().is_some() {
+                    let batch: Vec<RunToken> = iter.by_ref().take(fan).collect();
+                    if batch.len() == 1 {
+                        next.extend(batch);
+                    } else {
+                        next.push(self.merge_to_run(batch)?);
+                    }
+                }
+                self.runs = next;
+            }
+            let tokens = std::mem::take(&mut self.runs);
+            let ascending = self.ascending();
+            let nkeys = self.keys.len();
+            self.spill.note_merge_pass();
+            let out = &mut self.out;
+            merge_runs(tokens, &ascending, nkeys, |blob, key_end| {
+                out.push_tuple(&TupleRef::from_bytes(&blob[key_end..]))
+            })?;
         }
-        self.mem.free(self.tracked);
-        self.tracked = 0;
+        self.spill.finish(&self.grant);
+        self.grant.release_all();
         self.out.close()
     }
 }
@@ -92,8 +294,10 @@ impl FrameWriter for SortOp {
 mod tests {
     use super::super::testutil::{feed, CaptureWriter};
     use super::*;
+    use crate::spill::{SpillConfig, SpillCtx};
+    use crate::stats::MemTracker;
     use jdm::binary::ItemRef;
-    use jdm::Item;
+    use std::sync::Arc;
 
     /// Key = field `i` of the tuple.
     struct FieldKey(usize);
@@ -102,6 +306,28 @@ mod tests {
             out.extend_from_slice(t.field(self.0));
             Ok(())
         }
+    }
+
+    fn scratch_root(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("vxq-sort-test-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn budgeted_ctx(root: &std::path::Path, budget: usize, fan_in: usize) -> Arc<SpillCtx> {
+        SpillCtx::new(
+            MemTracker::with_budget(budget),
+            SpillConfig {
+                dir: Some(root.to_path_buf()),
+                merge_fan_in: fan_in,
+                ..SpillConfig::default()
+            },
+        )
+    }
+
+    fn unlimited_handle() -> SpillHandle {
+        SpillCtx::unlimited().handle("SORT", 0, 0)
     }
 
     #[test]
@@ -114,7 +340,7 @@ mod tests {
         let cap = CaptureWriter::new();
         let mut op = SortOp::new(
             vec![(Box::new(FieldKey(0)), true)],
-            MemTracker::new(),
+            unlimited_handle(),
             1024,
             Box::new(cap.clone()),
         );
@@ -129,7 +355,7 @@ mod tests {
         let cap2 = CaptureWriter::new();
         let mut op2 = SortOp::new(
             vec![(Box::new(FieldKey(0)), false)],
-            MemTracker::new(),
+            unlimited_handle(),
             1024,
             Box::new(cap2.clone()),
         );
@@ -152,7 +378,7 @@ mod tests {
         let cap = CaptureWriter::new();
         let mut op = SortOp::new(
             vec![(Box::new(FieldKey(0)), true), (Box::new(FieldKey(1)), true)],
-            MemTracker::new(),
+            unlimited_handle(),
             1024,
             Box::new(cap.clone()),
         );
@@ -165,11 +391,12 @@ mod tests {
 
     #[test]
     fn memory_is_tracked_and_freed() {
-        let mem = MemTracker::new();
+        let ctx = SpillCtx::unlimited();
+        let mem = ctx.memory().clone();
         let cap = CaptureWriter::new();
         let mut op = SortOp::new(
             vec![(Box::new(FieldKey(0)), true)],
-            mem.clone(),
+            ctx.handle("SORT", 0, 0),
             1024,
             Box::new(cap.clone()),
         );
@@ -181,5 +408,77 @@ mod tests {
         let decoded = cap.take();
         assert_eq!(decoded.len(), 50);
         let _ = ItemRef::new(&jdm::binary::to_bytes(&decoded[0][0])).unwrap();
+    }
+
+    #[test]
+    fn external_sort_matches_in_memory_sort() {
+        // Deterministic pseudo-random ordering with duplicate keys, so the
+        // external path exercises both merging and stability.
+        let rows: Vec<Vec<Item>> = (0..500u64)
+            .map(|i| {
+                let k = (i.wrapping_mul(2654435761) >> 7) % 50;
+                vec![Item::int(k as i64), Item::int(i as i64)]
+            })
+            .collect();
+
+        let cap_mem = CaptureWriter::new();
+        let mut in_mem = SortOp::new(
+            vec![(Box::new(FieldKey(0)), true)],
+            unlimited_handle(),
+            4096,
+            Box::new(cap_mem.clone()),
+        );
+        feed(&mut in_mem, &rows);
+        let expect = cap_mem.take();
+
+        let root = scratch_root("matches");
+        let ctx = budgeted_ctx(&root, 2 * 1024, 4);
+        let cap_ext = CaptureWriter::new();
+        let mut ext = SortOp::new(
+            vec![(Box::new(FieldKey(0)), true)],
+            ctx.handle("SORT", 0, 0),
+            4096,
+            Box::new(cap_ext.clone()),
+        );
+        feed(&mut ext, &rows);
+        assert_eq!(cap_ext.take(), expect, "spilled sort must be stable too");
+        let s = ctx.summary();
+        assert!(s.runs_written >= 2, "budget must have forced runs: {s:?}");
+        assert!(s.merge_passes >= 1);
+        assert_eq!(ctx.memory().current(), 0, "grant released at close");
+        assert!(!s.budget_exceeded, "spilling avoids violations");
+        drop(ext);
+        drop(ctx);
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn tight_fan_in_forces_multiple_merge_passes() {
+        let rows: Vec<Vec<Item>> = (0..400).map(|i| vec![Item::int(399 - i)]).collect();
+        let root = scratch_root("fanin");
+        let ctx = budgeted_ctx(&root, 512, 2);
+        let cap = CaptureWriter::new();
+        let mut op = SortOp::new(
+            vec![(Box::new(FieldKey(0)), true)],
+            ctx.handle("SORT", 0, 0),
+            4096,
+            Box::new(cap.clone()),
+        );
+        feed(&mut op, &rows);
+        let got: Vec<i64> = cap
+            .take()
+            .iter()
+            .map(|r| r[0].as_number().unwrap().as_i64().unwrap())
+            .collect();
+        assert_eq!(got, (0..400).collect::<Vec<_>>());
+        let s = ctx.summary();
+        assert!(
+            s.merge_passes >= 2,
+            "fan-in 2 over {} runs needs intermediate merges: {s:?}",
+            s.runs_written
+        );
+        drop(op);
+        drop(ctx);
+        let _ = std::fs::remove_dir_all(root);
     }
 }

@@ -322,7 +322,11 @@ impl Profiler {
         splits.sort_by(|a, b| {
             (a.stage, a.partition, &a.file, a.split).cmp(&(b.stage, b.partition, &b.file, b.split))
         });
-        JobProfile { ops, splits }
+        JobProfile {
+            ops,
+            splits,
+            spill_ops: Vec::new(),
+        }
     }
 }
 
@@ -372,6 +376,9 @@ pub struct JobProfile {
     /// Per-split DATASCAN records (empty when the job has no file scans or
     /// profiling was off).
     pub splits: Vec<SplitProfile>,
+    /// Per-operator spill records (empty when no stateful operator ran;
+    /// all-zero entries mean the operator stayed within its grant).
+    pub spill_ops: Vec<crate::spill::SpillOpProfile>,
 }
 
 impl JobProfile {

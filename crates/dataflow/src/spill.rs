@@ -1,0 +1,713 @@
+//! Memory-bounded execution: grant broker + run files.
+//!
+//! The paper's pipelining rules shrink what gets materialized, but the
+//! stateful operators that *remain* (sort, hash join, group-by) still held
+//! their whole state in RAM, and [`MemTracker`]'s budget was purely
+//! advisory. This module is the missing Hyracks layer ("Apache VXQuery: A
+//! Scalable XQuery Implementation" describes the external sort and hybrid
+//! hash operators this models): it turns the budget into a signal the
+//! operators act on.
+//!
+//! Two layers:
+//!
+//! * **Grant broker** — [`MemGrant`], a per-operator reservation drawn
+//!   from the cluster-wide [`MemTracker`]. [`MemGrant::try_grow`] returns
+//!   `false` when the budget would be exceeded *and rolls the attempt
+//!   back*: that is the operator's "spill now" signal. The legacy
+//!   check-and-ignore path survives as [`MemGrant::grow_anyway`], which
+//!   keeps the bytes accounted but raises the job's `budget_exceeded`
+//!   flag so EXPLAIN ANALYZE shows the violation.
+//! * **Run files** — a per-job spill directory (created lazily, removed
+//!   when the job's [`SpillCtx`] drops, so success, failure mid-spill and
+//!   early operator teardown all clean up), holding length-prefixed tuple
+//!   runs written/read with buffered sequential I/O ([`RunWriter`] /
+//!   [`RunReader`]).
+//!
+//! Everything an operator spills is counted in [`SpillStats`] and folded
+//! into [`crate::stats::JobStats`] and the job profile, mirroring how
+//! scan splits are reported.
+
+use crate::error::{DataflowError, Result};
+use crate::stats::MemTracker;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read as _, Write as _};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Spill tuning knobs, per job (set through the engine config).
+#[derive(Debug, Clone)]
+pub struct SpillConfig {
+    /// Root directory for per-job spill dirs. `None` = the system temp
+    /// directory. The job creates `vxq-spill-<pid>-<seq>/` under it on
+    /// first spill and removes it when the job finishes.
+    pub dir: Option<PathBuf>,
+    /// Maximum sorted runs merged at once by the external sort. Low
+    /// values force multi-pass merges (tests use 2).
+    pub merge_fan_in: usize,
+    /// Partition fan-out used by the grace hash join and the spilling
+    /// group-by when they overflow their grant.
+    pub spill_partitions: usize,
+    /// Maximum recursive re-partitioning depth. Beyond it (e.g. every
+    /// tuple shares one key) operators fall back to `grow_anyway` and the
+    /// run is flagged `budget_exceeded` instead of looping forever.
+    pub max_recursion: usize,
+}
+
+impl Default for SpillConfig {
+    fn default() -> Self {
+        SpillConfig {
+            dir: None,
+            merge_fan_in: 16,
+            spill_partitions: 8,
+            max_recursion: 6,
+        }
+    }
+}
+
+impl SpillConfig {
+    /// `merge_fan_in`, clamped to something a merge can make progress with.
+    pub fn fan_in(&self) -> usize {
+        self.merge_fan_in.max(2)
+    }
+
+    /// `spill_partitions`, clamped likewise.
+    pub fn partitions(&self) -> usize {
+        self.spill_partitions.max(2)
+    }
+}
+
+/// Job-wide spill counters (atomics: tasks update them concurrently).
+#[derive(Debug, Default)]
+pub struct SpillStats {
+    runs_written: AtomicU64,
+    bytes_spilled: AtomicU64,
+    tuples_spilled: AtomicU64,
+    merge_passes: AtomicU64,
+    /// Deepest partitioning recursion any operator reached.
+    max_recursion: AtomicU64,
+    /// Set when an operator proceeded past a failed budget check
+    /// (legacy materializing operators, or a spilling operator at its
+    /// recursion limit).
+    budget_exceeded: AtomicBool,
+    ops: Mutex<Vec<SpillOpProfile>>,
+}
+
+/// Frozen job-level spill totals, attached to [`crate::stats::JobStats`].
+#[derive(Debug, Default, Clone)]
+pub struct SpillSummary {
+    pub runs_written: u64,
+    pub bytes_spilled: u64,
+    pub tuples_spilled: u64,
+    pub merge_passes: u64,
+    pub max_recursion: u64,
+    pub budget_exceeded: bool,
+    /// The budget the job ran under (0 = unlimited).
+    pub budget: usize,
+}
+
+impl SpillSummary {
+    /// Did anything actually hit the disk?
+    pub fn spilled(&self) -> bool {
+        self.runs_written > 0
+    }
+}
+
+/// Spill activity of one operator instance, reported into the job
+/// profile at operator close (the spill analog of
+/// [`crate::profile::SplitProfile`]).
+#[derive(Debug, Clone)]
+pub struct SpillOpProfile {
+    pub stage: usize,
+    pub partition: usize,
+    pub op: &'static str,
+    /// High-water mark of this operator's memory grant.
+    pub peak_reserved: usize,
+    pub runs_written: u64,
+    pub bytes_spilled: u64,
+    pub tuples_spilled: u64,
+    pub merge_passes: u64,
+    /// Deepest partitioning level this operator recursed to (0 = never
+    /// spilled partitions).
+    pub recursion_depth: u64,
+}
+
+/// Per-job spill state: configuration, counters, and the lazily-created
+/// spill directory. One `Arc<SpillCtx>` is shared by every task of a run
+/// through [`crate::context::TaskContext`]; dropping it removes the spill
+/// directory, which covers clean success, errors mid-spill, and operators
+/// dropped before `close`.
+pub struct SpillCtx {
+    mem: Arc<MemTracker>,
+    config: SpillConfig,
+    stats: SpillStats,
+    dir: Mutex<Option<PathBuf>>,
+    run_seq: AtomicU64,
+}
+
+/// Process-wide sequence so concurrent jobs in one process get distinct
+/// spill directories.
+static JOB_SEQ: AtomicU64 = AtomicU64::new(0);
+
+impl SpillCtx {
+    pub fn new(mem: Arc<MemTracker>, config: SpillConfig) -> Arc<Self> {
+        Arc::new(SpillCtx {
+            mem,
+            config,
+            stats: SpillStats::default(),
+            dir: Mutex::new(None),
+            run_seq: AtomicU64::new(0),
+        })
+    }
+
+    /// Unlimited-memory context with default knobs (tests, standalone
+    /// operator use). Never spills: the grant always succeeds.
+    pub fn unlimited() -> Arc<Self> {
+        SpillCtx::new(MemTracker::new(), SpillConfig::default())
+    }
+
+    pub fn config(&self) -> &SpillConfig {
+        &self.config
+    }
+
+    pub fn memory(&self) -> &Arc<MemTracker> {
+        &self.mem
+    }
+
+    /// A handle for one operator instance of one task.
+    pub fn handle(
+        self: &Arc<Self>,
+        op: &'static str,
+        stage: usize,
+        partition: usize,
+    ) -> SpillHandle {
+        SpillHandle {
+            ctx: self.clone(),
+            op,
+            stage,
+            partition,
+            runs_written: AtomicU64::new(0),
+            bytes_spilled: AtomicU64::new(0),
+            tuples_spilled: AtomicU64::new(0),
+            merge_passes: AtomicU64::new(0),
+            recursion_depth: AtomicU64::new(0),
+        }
+    }
+
+    /// Job-level totals (budget read from the shared tracker).
+    pub fn summary(&self) -> SpillSummary {
+        SpillSummary {
+            runs_written: self.stats.runs_written.load(Ordering::Relaxed),
+            bytes_spilled: self.stats.bytes_spilled.load(Ordering::Relaxed),
+            tuples_spilled: self.stats.tuples_spilled.load(Ordering::Relaxed),
+            merge_passes: self.stats.merge_passes.load(Ordering::Relaxed),
+            max_recursion: self.stats.max_recursion.load(Ordering::Relaxed),
+            budget_exceeded: self.stats.budget_exceeded.load(Ordering::Relaxed),
+            budget: self.mem.budget(),
+        }
+    }
+
+    /// Per-operator spill profiles recorded so far, ordered by placement.
+    pub fn op_profiles(&self) -> Vec<SpillOpProfile> {
+        let mut ops = self.stats.ops.lock().expect("spill ops lock").clone();
+        ops.sort_by_key(|o| (o.stage, o.partition, o.op));
+        ops
+    }
+
+    /// The per-job spill directory, if any spill created it.
+    pub fn dir_if_created(&self) -> Option<PathBuf> {
+        self.dir.lock().expect("spill dir lock").clone()
+    }
+
+    /// Flag a tolerated budget violation (legacy materializing operators
+    /// and recursion-capped spills call this through their grants).
+    pub fn note_budget_exceeded(&self) {
+        self.stats.budget_exceeded.store(true, Ordering::Relaxed);
+    }
+
+    fn run_path(&self) -> Result<PathBuf> {
+        let mut dir = self.dir.lock().expect("spill dir lock");
+        if dir.is_none() {
+            let root = self.config.dir.clone().unwrap_or_else(std::env::temp_dir);
+            let name = format!(
+                "vxq-spill-{}-{}",
+                std::process::id(),
+                JOB_SEQ.fetch_add(1, Ordering::Relaxed)
+            );
+            let d = root.join(name);
+            std::fs::create_dir_all(&d)
+                .map_err(|e| DataflowError::Spill(format!("create spill dir {d:?}: {e}")))?;
+            *dir = Some(d);
+        }
+        let seq = self.run_seq.fetch_add(1, Ordering::Relaxed);
+        Ok(dir
+            .as_ref()
+            .expect("just created")
+            .join(format!("run-{seq}.bin")))
+    }
+}
+
+impl Drop for SpillCtx {
+    fn drop(&mut self) {
+        if let Some(dir) = self.dir.lock().ok().and_then(|mut d| d.take()) {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+}
+
+/// One operator's interface to the spill subsystem: grants, run files,
+/// and counters. Local counters are folded into the job profile by
+/// [`SpillHandle::finish`].
+pub struct SpillHandle {
+    ctx: Arc<SpillCtx>,
+    op: &'static str,
+    stage: usize,
+    partition: usize,
+    runs_written: AtomicU64,
+    bytes_spilled: AtomicU64,
+    tuples_spilled: AtomicU64,
+    merge_passes: AtomicU64,
+    recursion_depth: AtomicU64,
+}
+
+impl SpillHandle {
+    pub fn config(&self) -> &SpillConfig {
+        self.ctx.config()
+    }
+
+    /// A fresh (empty) reservation against the job budget.
+    pub fn grant(&self) -> MemGrant {
+        MemGrant {
+            ctx: self.ctx.clone(),
+            reserved: 0,
+            peak: 0,
+        }
+    }
+
+    /// Open a new run file in the per-job spill directory.
+    pub fn new_run(&self) -> Result<RunWriter> {
+        let path = self.ctx.run_path()?;
+        let file = File::create(&path)
+            .map_err(|e| DataflowError::Spill(format!("create run file {path:?}: {e}")))?;
+        self.runs_written.fetch_add(1, Ordering::Relaxed);
+        self.ctx.stats.runs_written.fetch_add(1, Ordering::Relaxed);
+        Ok(RunWriter {
+            w: BufWriter::new(file),
+            path,
+            bytes: 0,
+            tuples: 0,
+        })
+    }
+
+    /// Account a finished run's volume (called with the writer's totals).
+    pub fn note_spilled(&self, bytes: u64, tuples: u64) {
+        self.bytes_spilled.fetch_add(bytes, Ordering::Relaxed);
+        self.tuples_spilled.fetch_add(tuples, Ordering::Relaxed);
+        self.ctx
+            .stats
+            .bytes_spilled
+            .fetch_add(bytes, Ordering::Relaxed);
+        self.ctx
+            .stats
+            .tuples_spilled
+            .fetch_add(tuples, Ordering::Relaxed);
+    }
+
+    /// Count one k-way merge of sorted runs.
+    pub fn note_merge_pass(&self) {
+        self.merge_passes.fetch_add(1, Ordering::Relaxed);
+        self.ctx.stats.merge_passes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record that this operator partitioned at `level` (1 = first spill,
+    /// 2+ = recursive re-partitioning).
+    pub fn note_recursion(&self, level: u64) {
+        self.recursion_depth.fetch_max(level, Ordering::Relaxed);
+        self.ctx
+            .stats
+            .max_recursion
+            .fetch_max(level, Ordering::Relaxed);
+    }
+
+    /// Flag a tolerated budget violation.
+    pub fn note_budget_exceeded(&self) {
+        self.ctx.note_budget_exceeded();
+    }
+
+    /// Report this operator's spill profile into the job profile. Call
+    /// once at operator close, before releasing the grant (so the peak is
+    /// accurate — though the grant tracks its own high-water mark anyway).
+    pub fn finish(&self, grant: &MemGrant) {
+        self.ctx
+            .stats
+            .ops
+            .lock()
+            .expect("spill ops lock")
+            .push(SpillOpProfile {
+                stage: self.stage,
+                partition: self.partition,
+                op: self.op,
+                peak_reserved: grant.peak(),
+                runs_written: self.runs_written.load(Ordering::Relaxed),
+                bytes_spilled: self.bytes_spilled.load(Ordering::Relaxed),
+                tuples_spilled: self.tuples_spilled.load(Ordering::Relaxed),
+                merge_passes: self.merge_passes.load(Ordering::Relaxed),
+                recursion_depth: self.recursion_depth.load(Ordering::Relaxed),
+            });
+    }
+}
+
+/// A per-operator memory reservation drawn from the job-wide tracker.
+///
+/// Unlike [`crate::stats::MemReservation`] (whose `grow` keeps the bytes
+/// accounted on violation), a failed [`MemGrant::try_grow`] rolls the
+/// attempt back — the tracker is left as it was, and the operator is
+/// expected to spill and retry. The grant releases whatever it still
+/// holds on drop.
+pub struct MemGrant {
+    ctx: Arc<SpillCtx>,
+    reserved: usize,
+    peak: usize,
+}
+
+impl MemGrant {
+    /// Try to grow the reservation by `bytes`. `false` = the job budget
+    /// would be exceeded (nothing stays accounted): spill now.
+    pub fn try_grow(&mut self, bytes: usize) -> bool {
+        if self.ctx.mem.alloc(bytes) {
+            self.reserved += bytes;
+            self.peak = self.peak.max(self.reserved);
+            true
+        } else {
+            self.ctx.mem.free(bytes);
+            false
+        }
+    }
+
+    /// Grow unconditionally, flagging the job when this violates the
+    /// budget (the legacy check-and-ignore path, now observable).
+    pub fn grow_anyway(&mut self, bytes: usize) {
+        if !self.ctx.mem.alloc(bytes) {
+            self.ctx.note_budget_exceeded();
+        }
+        self.reserved += bytes;
+        self.peak = self.peak.max(self.reserved);
+    }
+
+    /// Release the whole reservation (idempotent; drop also calls this).
+    pub fn release_all(&mut self) {
+        if self.reserved > 0 {
+            self.ctx.mem.free(self.reserved);
+            self.reserved = 0;
+        }
+    }
+
+    /// Bytes currently reserved.
+    pub fn reserved(&self) -> usize {
+        self.reserved
+    }
+
+    /// High-water mark of this grant.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+}
+
+impl Drop for MemGrant {
+    fn drop(&mut self) {
+        self.release_all();
+    }
+}
+
+/// Buffered sequential writer of one run file. Records are
+/// `[u32 le length][bytes]`; multi-part records are concatenated (the
+/// caller owns any interior structure, e.g. the sort's key prefix).
+pub struct RunWriter {
+    w: BufWriter<File>,
+    path: PathBuf,
+    bytes: u64,
+    tuples: u64,
+}
+
+impl RunWriter {
+    /// Append one record assembled from `parts`.
+    pub fn push(&mut self, parts: &[&[u8]]) -> Result<()> {
+        let len: usize = parts.iter().map(|p| p.len()).sum();
+        let len32 = u32::try_from(len)
+            .map_err(|_| DataflowError::Spill(format!("spill record of {len} bytes")))?;
+        self.w
+            .write_all(&len32.to_le_bytes())
+            .and_then(|()| parts.iter().try_for_each(|p| self.w.write_all(p)))
+            .map_err(|e| DataflowError::Spill(format!("write run {:?}: {e}", self.path)))?;
+        self.bytes += 4 + len as u64;
+        self.tuples += 1;
+        Ok(())
+    }
+
+    /// Records written so far.
+    pub fn tuples(&self) -> u64 {
+        self.tuples
+    }
+
+    /// Flush and seal the run, returning a token to read it back.
+    pub fn finish(mut self) -> Result<RunToken> {
+        self.w
+            .flush()
+            .map_err(|e| DataflowError::Spill(format!("flush run {:?}: {e}", self.path)))?;
+        Ok(RunToken {
+            path: self.path,
+            bytes: self.bytes,
+            tuples: self.tuples,
+        })
+    }
+}
+
+/// A sealed run file, ready to be read (and deleted) by a [`RunReader`].
+#[derive(Debug)]
+pub struct RunToken {
+    path: PathBuf,
+    pub bytes: u64,
+    pub tuples: u64,
+}
+
+/// Buffered sequential reader over a sealed run. Deletes the file on
+/// drop: a run is consumed exactly once.
+pub struct RunReader {
+    r: BufReader<File>,
+    path: PathBuf,
+}
+
+impl RunReader {
+    pub fn open(token: RunToken) -> Result<Self> {
+        let file = File::open(&token.path)
+            .map_err(|e| DataflowError::Spill(format!("open run {:?}: {e}", token.path)))?;
+        Ok(RunReader {
+            r: BufReader::new(file),
+            path: token.path,
+        })
+    }
+
+    /// Read the next record into `buf` (replacing its contents). Returns
+    /// `false` at end of run.
+    pub fn next_into(&mut self, buf: &mut Vec<u8>) -> Result<bool> {
+        let mut len_bytes = [0u8; 4];
+        match self.r.read_exact(&mut len_bytes) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(false),
+            Err(e) => {
+                return Err(DataflowError::Spill(format!(
+                    "read run {:?}: {e}",
+                    self.path
+                )))
+            }
+        }
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        buf.clear();
+        buf.resize(len, 0);
+        self.r
+            .read_exact(buf)
+            .map_err(|e| DataflowError::Spill(format!("read run {:?}: {e}", self.path)))?;
+        Ok(true)
+    }
+}
+
+impl Drop for RunReader {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Level-seeded partitioning hash for spilled state.
+///
+/// Deliberately *not* [`crate::exchange::hash_bytes`]: tuples reaching a
+/// spilling operator behind a hash exchange were already partitioned by
+/// that FNV — reusing it would send every tuple of a task to one spill
+/// partition. A different seed per recursion level plus a
+/// splitmix64-style finalizer decorrelates both.
+pub fn part_hash(key: &[u8], level: u64) -> u64 {
+    let mut h = 0x9e37_79b9_7f4a_7c15u64 ^ level.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_root(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("vxq-spill-test-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn ctx_with_root(root: &std::path::Path, budget: usize) -> Arc<SpillCtx> {
+        let mem = if budget > 0 {
+            MemTracker::with_budget(budget)
+        } else {
+            MemTracker::new()
+        };
+        SpillCtx::new(
+            mem,
+            SpillConfig {
+                dir: Some(root.to_path_buf()),
+                ..SpillConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn grant_rolls_back_on_violation() {
+        let root = scratch_root("grant");
+        let ctx = ctx_with_root(&root, 100);
+        let h = ctx.handle("TEST", 0, 0);
+        let mut g = h.grant();
+        assert!(g.try_grow(60));
+        assert!(!g.try_grow(60), "over budget");
+        assert_eq!(ctx.memory().current(), 60, "failed grow left no residue");
+        assert!(g.try_grow(30));
+        assert_eq!(g.reserved(), 90);
+        assert_eq!(g.peak(), 90);
+        g.release_all();
+        assert_eq!(ctx.memory().current(), 0);
+        assert!(!ctx.summary().budget_exceeded);
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn grow_anyway_flags_the_job() {
+        let root = scratch_root("anyway");
+        let ctx = ctx_with_root(&root, 10);
+        let h = ctx.handle("TEST", 0, 0);
+        let mut g = h.grant();
+        g.grow_anyway(50);
+        assert_eq!(g.reserved(), 50);
+        assert!(ctx.summary().budget_exceeded);
+        drop(g);
+        assert_eq!(ctx.memory().current(), 0, "drop releases");
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn run_round_trip_preserves_records() {
+        let root = scratch_root("roundtrip");
+        let ctx = ctx_with_root(&root, 0);
+        let h = ctx.handle("TEST", 0, 0);
+        let mut w = h.new_run().unwrap();
+        w.push(&[b"hello"]).unwrap();
+        w.push(&[b"", b"wor", b"ld"]).unwrap();
+        w.push(&[b""]).unwrap();
+        let token = w.finish().unwrap();
+        assert_eq!(token.tuples, 3);
+        let mut r = RunReader::open(token).unwrap();
+        let mut buf = Vec::new();
+        assert!(r.next_into(&mut buf).unwrap());
+        assert_eq!(buf, b"hello");
+        assert!(r.next_into(&mut buf).unwrap());
+        assert_eq!(buf, b"world");
+        assert!(r.next_into(&mut buf).unwrap());
+        assert!(buf.is_empty());
+        assert!(!r.next_into(&mut buf).unwrap());
+        drop(r);
+        let dir = ctx.dir_if_created().unwrap();
+        assert_eq!(
+            std::fs::read_dir(&dir).unwrap().count(),
+            0,
+            "reader deletes its run"
+        );
+        drop(h); // the handle keeps the ctx alive
+        drop(ctx);
+        assert!(!dir.exists(), "job dir removed on ctx drop");
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn ctx_drop_cleans_up_unread_runs() {
+        // An operator dropped early (error elsewhere in the job) leaves
+        // sealed and half-written runs behind; the job ctx must still
+        // remove the directory.
+        let root = scratch_root("early-drop");
+        let ctx = ctx_with_root(&root, 0);
+        let h = ctx.handle("TEST", 0, 0);
+        let mut w1 = h.new_run().unwrap();
+        w1.push(&[b"sealed"]).unwrap();
+        let _token = w1.finish().unwrap();
+        let mut w2 = h.new_run().unwrap();
+        w2.push(&[b"abandoned"]).unwrap();
+        let dir = ctx.dir_if_created().unwrap();
+        assert!(dir.exists());
+        drop(w2); // never finished
+        drop(h); // the handle keeps the ctx alive
+        drop(ctx);
+        assert!(!dir.exists(), "spill dir removed with runs still inside");
+        assert_eq!(
+            std::fs::read_dir(&root).unwrap().count(),
+            0,
+            "no stray job dirs under the root"
+        );
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn stats_fold_runs_and_counters() {
+        let root = scratch_root("stats");
+        let ctx = ctx_with_root(&root, 0);
+        let h = ctx.handle("SORT", 1, 2);
+        let mut w = h.new_run().unwrap();
+        w.push(&[b"abc"]).unwrap();
+        w.push(&[b"de"]).unwrap();
+        let t = w.finish().unwrap();
+        h.note_spilled(t.bytes, t.tuples);
+        h.note_merge_pass();
+        h.note_recursion(3);
+        let g = h.grant();
+        h.finish(&g);
+        let s = ctx.summary();
+        assert_eq!(s.runs_written, 1);
+        assert_eq!(s.tuples_spilled, 2);
+        assert_eq!(s.bytes_spilled, (4 + 3) + (4 + 2));
+        assert_eq!(s.merge_passes, 1);
+        assert_eq!(s.max_recursion, 3);
+        let ops = ctx.op_profiles();
+        assert_eq!(ops.len(), 1);
+        assert_eq!((ops[0].stage, ops[0].partition, ops[0].op), (1, 2, "SORT"));
+        assert_eq!(ops[0].tuples_spilled, 2);
+        drop(ctx);
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn part_hash_differs_by_level_and_from_exchange_hash() {
+        let keys: Vec<Vec<u8>> = (0..64u8).map(|i| vec![i, i ^ 0x5a, 7]).collect();
+        let mut same_bucket = 0;
+        for k in &keys {
+            assert_ne!(part_hash(k, 1), part_hash(k, 2), "levels must differ");
+            if part_hash(k, 1) % 8 == crate::exchange::hash_bytes(&[k]) % 8 {
+                same_bucket += 1;
+            }
+        }
+        // Uncorrelated hashes collide on ~1/8 of keys; the old failure
+        // mode was 100% correlation (every tuple in one spill partition).
+        assert!(
+            same_bucket < keys.len() / 2,
+            "spill hash correlates with exchange hash: {same_bucket}/64"
+        );
+    }
+
+    #[test]
+    fn no_dir_created_until_first_run() {
+        let root = scratch_root("lazy");
+        let ctx = ctx_with_root(&root, 0);
+        assert!(ctx.dir_if_created().is_none());
+        assert_eq!(std::fs::read_dir(&root).unwrap().count(), 0);
+        drop(ctx);
+        let _ = std::fs::remove_dir_all(root);
+    }
+}

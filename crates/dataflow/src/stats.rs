@@ -16,6 +16,13 @@ use std::sync::Arc;
 pub struct MemTracker {
     current: AtomicU64,
     peak: AtomicU64,
+    /// Job-lifetime cached state (scanned file bytes, structural
+    /// indexes): counted in `current`/`peak` for observability but exempt
+    /// from the budget check — an operator cannot release another
+    /// subsystem's cache by spilling, so charging it would starve every
+    /// grant below the cache's size (work-mem vs. buffer-cache).
+    cached: AtomicU64,
+    cached_peak: AtomicU64,
     /// 0 = unlimited.
     budget: AtomicU64,
 }
@@ -36,11 +43,39 @@ impl MemTracker {
 
     /// Record an allocation of materialized state. Returns `false` when the
     /// budget would be exceeded (the caller decides whether that is fatal).
+    /// Cache-class bytes (see [`MemTracker::alloc_cached`]) do not count
+    /// against the budget.
     pub fn alloc(&self, bytes: usize) -> bool {
         let now = self.current.fetch_add(bytes as u64, Ordering::Relaxed) + bytes as u64;
         self.peak.fetch_max(now, Ordering::Relaxed);
         let budget = self.budget.load(Ordering::Relaxed);
-        budget == 0 || now <= budget
+        budget == 0 || now.saturating_sub(self.cached.load(Ordering::Relaxed)) <= budget
+    }
+
+    /// Record cache-class bytes: tracked in `current` and `peak` like any
+    /// materialized state, but exempt from the budget verdict of
+    /// [`MemTracker::alloc`]. Pair with [`MemTracker::free_cached`].
+    pub fn alloc_cached(&self, bytes: usize) {
+        self.cached.fetch_add(bytes as u64, Ordering::Relaxed);
+        let now = self.current.fetch_add(bytes as u64, Ordering::Relaxed) + bytes as u64;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+        self.cached_peak
+            .fetch_max(self.cached.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Release cache-class bytes recorded by [`MemTracker::alloc_cached`].
+    pub fn free_cached(&self, bytes: usize) {
+        let prev = self
+            .cached
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                Some(cur.saturating_sub(bytes as u64))
+            })
+            .expect("fetch_update with Some never fails");
+        debug_assert!(
+            prev >= bytes as u64,
+            "MemTracker::free_cached({bytes}) exceeds cached {prev}"
+        );
+        self.free(bytes);
     }
 
     /// Record a release. Saturates at zero: a double-free or an over-free
@@ -69,6 +104,16 @@ impl MemTracker {
         self.peak.load(Ordering::Relaxed) as usize
     }
 
+    /// Cache-class bytes currently accounted.
+    pub fn cached(&self) -> usize {
+        self.cached.load(Ordering::Relaxed) as usize
+    }
+
+    /// High-water mark of the cache class alone.
+    pub fn cached_peak(&self) -> usize {
+        self.cached_peak.load(Ordering::Relaxed) as usize
+    }
+
     /// Configured budget (0 = unlimited).
     pub fn budget(&self) -> usize {
         self.budget.load(Ordering::Relaxed) as usize
@@ -78,6 +123,8 @@ impl MemTracker {
     pub fn reset(&self) {
         self.current.store(0, Ordering::Relaxed);
         self.peak.store(0, Ordering::Relaxed);
+        self.cached.store(0, Ordering::Relaxed);
+        self.cached_peak.store(0, Ordering::Relaxed);
     }
 }
 
@@ -128,6 +175,9 @@ pub struct JobStats {
     pub cpu_total: std::time::Duration,
     /// Peak materialized bytes across the whole cluster.
     pub peak_memory: usize,
+    /// Peak cache-class bytes (scanned files kept resident for the job) —
+    /// included in `peak_memory`, exempt from the spill budget.
+    pub peak_cached: usize,
     /// Bytes that crossed a node boundary through exchanges.
     pub network_bytes: usize,
     /// Frames sent through exchanges (local + remote).
@@ -136,6 +186,9 @@ pub struct JobStats {
     pub result_tuples: usize,
     /// Raw bytes read by scan sources.
     pub bytes_scanned: usize,
+    /// Spill totals: runs written, bytes spilled, merge passes, and the
+    /// `budget_exceeded` flag (see [`crate::spill`]).
+    pub spill: crate::spill::SpillSummary,
     /// Per-operator metrics (always collected; see [`crate::profile`]).
     pub profile: crate::profile::JobProfile,
 }

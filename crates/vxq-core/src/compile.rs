@@ -187,7 +187,7 @@ fn build_chain(
             } => Box::new(HashGroupByOp::new(
                 key_fields,
                 Arc::new(AggFactory { func, arg }),
-                ctx.mem.clone(),
+                ctx.spill_handle("HASH-GROUP-BY"),
                 ctx.frame_size,
                 writer,
             )),
@@ -197,7 +197,7 @@ fn build_chain(
             } => Box::new(MaterializingGroupByOp::new(
                 key_fields,
                 seq_field,
-                ctx.mem.clone(),
+                ctx.spill_handle("MAT-GROUP-BY"),
                 ctx.frame_size,
                 writer,
             )),
@@ -208,7 +208,7 @@ fn build_chain(
                     .collect();
                 Box::new(dataflow::ops::SortOp::new(
                     evals,
-                    ctx.mem.clone(),
+                    ctx.spill_handle("SORT"),
                     ctx.frame_size,
                     writer,
                 ))
@@ -369,7 +369,7 @@ impl TwoInputFactory for JoinChainFactory {
         Ok(Box::new(HashJoinOp::new(
             self.build_keys.clone(),
             self.probe_keys.clone(),
-            ctx.mem.clone(),
+            ctx.spill_handle("HASH-JOIN"),
             ctx.frame_size,
             out,
         )))

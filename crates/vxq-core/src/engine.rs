@@ -21,10 +21,19 @@ pub struct EngineConfig {
     pub rules: RuleConfig,
     /// Directory collection paths resolve under.
     pub data_root: PathBuf,
-    /// Optional memory budget in bytes for materialized state (0 = none).
+    /// Optional memory budget in bytes for operator working state —
+    /// sort buffers, join tables, group-by state. Stateful operators
+    /// spill to run files rather than exceed it. Scanned file bytes kept
+    /// resident for the job are reported in `peak_memory` but not charged
+    /// against this budget. 0 = unlimited; falls back to the
+    /// `VXQ_MEM_BUDGET` environment variable, which accepts `k`/`m`/`g`
+    /// suffixes.
     pub memory_budget: usize,
     /// DATASCAN split behaviour (intra-file parallelism).
     pub scan: ScanOptions,
+    /// Spill tuning: run-file directory, merge fan-in, partition fan-out,
+    /// recursion cap (see [`dataflow::SpillConfig`]).
+    pub spill: dataflow::SpillConfig,
 }
 
 impl Default for EngineConfig {
@@ -35,8 +44,43 @@ impl Default for EngineConfig {
             data_root: PathBuf::from("."),
             memory_budget: 0,
             scan: ScanOptions::default(),
+            spill: dataflow::SpillConfig::default(),
         }
     }
+}
+
+/// Parse a memory budget like `1048576`, `256k`, `64M` or `2g` into bytes.
+pub fn parse_memory_budget(s: &str) -> Option<usize> {
+    let s = s.trim();
+    let (num, mult) = match s.as_bytes().last()?.to_ascii_lowercase() {
+        b'k' => (&s[..s.len() - 1], 1024usize),
+        b'm' => (&s[..s.len() - 1], 1024 * 1024),
+        b'g' => (&s[..s.len() - 1], 1024 * 1024 * 1024),
+        _ => (s, 1),
+    };
+    num.trim().parse::<usize>().ok()?.checked_mul(mult)
+}
+
+/// The configured budget, or the `VXQ_MEM_BUDGET` environment fallback
+/// when the config leaves it unset.
+fn resolve_budget(config: &EngineConfig) -> usize {
+    if config.memory_budget > 0 {
+        return config.memory_budget;
+    }
+    std::env::var("VXQ_MEM_BUDGET")
+        .ok()
+        .and_then(|v| parse_memory_budget(&v))
+        .unwrap_or(0)
+}
+
+fn build_cluster(config: &EngineConfig) -> Cluster {
+    let budget = resolve_budget(config);
+    let mem = if budget > 0 {
+        dataflow::MemTracker::with_budget(budget)
+    } else {
+        dataflow::MemTracker::new()
+    };
+    Cluster::with_settings(config.cluster.clone(), mem, config.spill.clone())
 }
 
 /// A query result: decoded rows plus runtime statistics and provenance.
@@ -69,12 +113,7 @@ impl Engine {
     /// Build an engine. The cluster's worker structure is created once
     /// and reused across queries.
     pub fn new(config: EngineConfig) -> Self {
-        let mem = if config.memory_budget > 0 {
-            dataflow::MemTracker::with_budget(config.memory_budget)
-        } else {
-            dataflow::MemTracker::new()
-        };
-        let cluster = Cluster::with_memory(config.cluster.clone(), mem);
+        let cluster = build_cluster(&config);
         let rules = RuleSet::for_config(config.rules);
         Engine {
             config,
@@ -96,12 +135,7 @@ impl Engine {
     /// families (used by the AsterixDB baseline, which shares the
     /// infrastructure but lacks the JSONiq pipelining rules).
     pub fn with_rule_set(config: EngineConfig, rules: RuleSet) -> Self {
-        let mem = if config.memory_budget > 0 {
-            dataflow::MemTracker::with_budget(config.memory_budget)
-        } else {
-            dataflow::MemTracker::new()
-        };
-        let cluster = Cluster::with_memory(config.cluster.clone(), mem);
+        let cluster = build_cluster(&config);
         Engine {
             config,
             cluster,
@@ -330,10 +364,51 @@ pub fn render_analysis(result: &QueryResult) -> String {
         }
     }
     let st = &result.stats;
+    let sp = &st.spill;
+    if sp.budget > 0 || sp.spilled() || sp.budget_exceeded {
+        out.push_str("\n== spill ==\n");
+        let budget = if sp.budget == 0 {
+            "unlimited".to_string()
+        } else {
+            format!("{} B", sp.budget)
+        };
+        let _ = writeln!(
+            out,
+            "budget: {budget}\nruns written: {}\nspilled: {} B in {} tuples\nmerge passes: {}\nmax recursion: {}\nbudget exceeded: {}",
+            sp.runs_written,
+            sp.bytes_spilled,
+            sp.tuples_spilled,
+            sp.merge_passes,
+            sp.max_recursion,
+            sp.budget_exceeded
+        );
+        if !st.profile.spill_ops.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:<5} {:<4} {:<16} {:>12} {:>6} {:>12} {:>10} {:>7} {:>6}",
+                "stage", "part", "op", "peak_res", "runs", "bytes", "tuples", "merges", "depth"
+            );
+            for o in &st.profile.spill_ops {
+                let _ = writeln!(
+                    out,
+                    "{:<5} {:<4} {:<16} {:>12} {:>6} {:>12} {:>10} {:>7} {:>6}",
+                    o.stage,
+                    o.partition,
+                    o.op,
+                    o.peak_reserved,
+                    o.runs_written,
+                    o.bytes_spilled,
+                    o.tuples_spilled,
+                    o.merge_passes,
+                    o.recursion_depth
+                );
+            }
+        }
+    }
     let _ = writeln!(
         out,
-        "\n== totals ==\nsimulated elapsed: {:?}\ncpu total: {:?}\npeak memory: {} B\nnetwork: {} B in {} frames\nresult tuples: {}",
-        st.elapsed, st.cpu_total, st.peak_memory, st.network_bytes, st.frames_shipped, st.result_tuples
+        "\n== totals ==\nsimulated elapsed: {:?}\ncpu total: {:?}\npeak memory: {} B ({} B resident scan cache)\nnetwork: {} B in {} frames\nresult tuples: {}",
+        st.elapsed, st.cpu_total, st.peak_memory, st.peak_cached, st.network_bytes, st.frames_shipped, st.result_tuples
     );
     out
 }

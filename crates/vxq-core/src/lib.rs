@@ -49,7 +49,7 @@ pub mod queries;
 pub mod rtexpr;
 pub mod scan;
 
-pub use engine::{render_analysis, Engine, EngineConfig, QueryResult};
+pub use engine::{parse_memory_budget, render_analysis, Engine, EngineConfig, QueryResult};
 pub use error::{EngineError, Result};
 pub use pool::ScanBufferPool;
 pub use scan::ScanOptions;

@@ -433,7 +433,7 @@ struct LoadedFile {
 
 impl Drop for LoadedFile {
     fn drop(&mut self) {
-        self.mem.free(self.tracked);
+        self.mem.free_cached(self.tracked);
     }
 }
 
@@ -482,7 +482,10 @@ impl FileIndexCache {
                 let tracked = bytes.len()
                     + index.len() * std::mem::size_of::<jdm::index::TapeEntry>()
                     + table.records.len() * std::mem::size_of::<jdm::project::RecordSpan>();
-                ctx.mem.alloc(tracked);
+                // Cache class: resident for the job, reported in the
+                // peak, exempt from the spill budget (operators cannot
+                // release it by spilling).
+                ctx.mem.alloc_cached(tracked);
                 Ok(Arc::new(LoadedFile {
                     bytes,
                     index,
@@ -666,6 +669,7 @@ mod tests {
             counters: Counters::new(),
             gate: CoreGate::unlimited(),
             profiler: None,
+            spill: dataflow::spill::SpillCtx::unlimited(),
         }
     }
 
