@@ -62,6 +62,58 @@ fn dump_metrics(harness: &Harness, dir: &std::path::Path) {
         println!("== EXPLAIN ANALYZE {name} ==");
         println!("{}", vxq_core::render_analysis(&result));
     }
+
+    // The serving layer: a short concurrent burst of the sensor queries
+    // through one QueryService, snapshotted into its own families.
+    let engine = harness.engine(
+        &root,
+        ClusterSpec {
+            nodes: 2,
+            partitions_per_node: 2,
+            ..Default::default()
+        },
+        RuleConfig::all(),
+    );
+    let service = vxq_core::QueryService::new(engine, vxq_core::ServiceConfig::default());
+    std::thread::scope(|s| {
+        for c in 0..4 {
+            let service = &service;
+            s.spawn(move || {
+                for round in 0..3 {
+                    let (_, query) = vxq_core::queries::SENSOR_QUERIES
+                        [(c + round) % vxq_core::queries::SENSOR_QUERIES.len()];
+                    service
+                        .execute(query, vxq_core::QueryOptions::default())
+                        .expect("service query");
+                }
+            });
+        }
+    });
+    let snap = service.snapshot();
+    let write = |ext: &str, content: String| {
+        let path = dir.join(format!("service.{ext}"));
+        std::fs::write(&path, content).expect("write metrics file");
+        eprintln!("   wrote {}", path.display());
+    };
+    write("prom", bench::metrics::service_to_prometheus(&snap));
+    write("metrics.json", bench::metrics::service_to_json(&snap));
+    println!("== service ==");
+    println!(
+        "submitted: {}  completed: {}  failed: {}  rejected: {}",
+        snap.submitted, snap.completed, snap.failed, snap.rejected
+    );
+    println!(
+        "plan cache: {} hits / {} misses ({} cached)",
+        snap.plan_cache_hits, snap.plan_cache_misses, snap.plan_cache_size
+    );
+    println!(
+        "latency: p50 {:.1} ms  p95 {:.1} ms  p99 {:.1} ms  (n={})",
+        snap.latency.p50_us as f64 / 1000.0,
+        snap.latency.p95_us as f64 / 1000.0,
+        snap.latency.p99_us as f64 / 1000.0,
+        snap.latency.count
+    );
+    println!("leaked bytes: {}", snap.leaked_bytes);
 }
 
 fn main() {

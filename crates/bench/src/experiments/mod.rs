@@ -24,12 +24,14 @@
 //! | ablation-memory | (beyond the paper) peak memory per rule config | [`ablation::memory_by_config`] |
 //! | splits-scan | (beyond the paper) intra-file split scanning | [`splits::splits`] |
 //! | spill | (beyond the paper) memory-budget sweep, spilling operators | [`spill::spill`] |
+//! | service | (beyond the paper) concurrent-serving throughput sweep | [`service::service`] |
 
 pub mod ablation;
 pub mod compare_cluster;
 pub mod compare_single;
 pub mod parallel;
 pub mod rules;
+pub mod service;
 pub mod spill;
 pub mod splits;
 
@@ -62,6 +64,7 @@ pub const EXPERIMENTS: &[(&str, ExperimentFn)] = &[
     ("ablation-memory", ablation::memory_by_config),
     ("splits-scan", splits::splits),
     ("spill", spill::spill),
+    ("service", service::service),
 ];
 
 /// Look up an experiment by id.

@@ -13,7 +13,7 @@
 
 use dataflow::trace::escape_json;
 use std::fmt::Write as _;
-use vxq_core::QueryResult;
+use vxq_core::{LatencySummary, QueryResult, ServiceSnapshot};
 
 /// Escape a Prometheus label value (`\`, `"`, newline).
 fn escape_label(s: &str) -> String {
@@ -154,6 +154,138 @@ pub fn to_prometheus(query: &str, r: &QueryResult) -> String {
         let _ = writeln!(out, "vxq_rule_seconds_total{{{labels}}} {secs}");
     }
     out
+}
+
+/// Render a [`ServiceSnapshot`] in the Prometheus text exposition format
+/// (`vxq_service_*` families): admission/completion counters, live
+/// gauges, plan-cache effectiveness, and latency percentiles.
+pub fn service_to_prometheus(snap: &ServiceSnapshot) -> String {
+    let mut out = String::new();
+    let mut gauge = |name: &str, help: &str, value: f64| {
+        let _ = writeln!(out, "# HELP vxq_service_{name} {help}");
+        let _ = writeln!(out, "# TYPE vxq_service_{name} gauge");
+        let _ = writeln!(out, "vxq_service_{name} {value}");
+    };
+    gauge(
+        "submitted_total",
+        "Queries offered to the service.",
+        snap.submitted as f64,
+    );
+    gauge(
+        "rejected_total",
+        "Submissions refused (queue full or service closed).",
+        snap.rejected as f64,
+    );
+    gauge(
+        "completed_total",
+        "Queries that ran to completion.",
+        snap.completed as f64,
+    );
+    gauge(
+        "failed_total",
+        "Queries that errored (excluding cancellations and deadlines).",
+        snap.failed as f64,
+    );
+    gauge(
+        "cancelled_total",
+        "Queries cancelled by their client.",
+        snap.cancelled as f64,
+    );
+    gauge(
+        "deadline_expired_total",
+        "Queries whose deadline fired.",
+        snap.deadline_expired as f64,
+    );
+    gauge(
+        "running",
+        "Queries executing right now.",
+        snap.running as f64,
+    );
+    gauge(
+        "queue_depth",
+        "Queries waiting for a worker right now.",
+        snap.queue_depth as f64,
+    );
+    gauge(
+        "plan_cache_hits_total",
+        "Plan-cache lookups that found a prepared plan.",
+        snap.plan_cache_hits as f64,
+    );
+    gauge(
+        "plan_cache_misses_total",
+        "Plan-cache lookups that prepared from scratch.",
+        snap.plan_cache_misses as f64,
+    );
+    gauge(
+        "plan_cache_size",
+        "Plans currently cached.",
+        snap.plan_cache_size as f64,
+    );
+    gauge(
+        "leaked_bytes",
+        "High-water mark of bytes a finished job left allocated (0 = healthy).",
+        snap.leaked_bytes as f64,
+    );
+    let mut series = |family: &str, help: &str, l: &LatencySummary| {
+        let _ = writeln!(out, "# HELP vxq_service_{family}_seconds {help}");
+        let _ = writeln!(out, "# TYPE vxq_service_{family}_seconds gauge");
+        for (q, us) in [
+            ("0.5", l.p50_us),
+            ("0.95", l.p95_us),
+            ("0.99", l.p99_us),
+            ("1", l.max_us),
+        ] {
+            let _ = writeln!(
+                out,
+                "vxq_service_{family}_seconds{{quantile=\"{q}\"}} {}",
+                us as f64 / 1e6
+            );
+        }
+        let _ = writeln!(out, "# HELP vxq_service_{family}_count Recorded samples.");
+        let _ = writeln!(out, "# TYPE vxq_service_{family}_count gauge");
+        let _ = writeln!(out, "vxq_service_{family}_count {}", l.count);
+    };
+    series(
+        "latency",
+        "Worker-side execution latency percentiles.",
+        &snap.latency,
+    );
+    series(
+        "queue_wait",
+        "Admission-queue wait percentiles.",
+        &snap.queue_wait,
+    );
+    out
+}
+
+/// Render a [`ServiceSnapshot`] as one JSON object.
+pub fn service_to_json(snap: &ServiceSnapshot) -> String {
+    let lat = |l: &LatencySummary| {
+        format!(
+            "{{\"count\":{},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"max_us\":{}}}",
+            l.count, l.p50_us, l.p95_us, l.p99_us, l.max_us
+        )
+    };
+    format!(
+        "{{\"submitted\":{},\"rejected\":{},\"completed\":{},\"failed\":{},\
+         \"cancelled\":{},\"deadline_expired\":{},\"running\":{},\"queue_depth\":{},\
+         \"plan_cache\":{{\"hits\":{},\"misses\":{},\"size\":{}}},\
+         \"leaked_bytes\":{},\"latency\":{},\"queue_wait\":{}}}",
+        snap.submitted,
+        snap.rejected,
+        snap.completed,
+        snap.failed,
+        snap.cancelled,
+        snap.deadline_expired,
+        snap.running,
+        snap.queue_depth,
+        snap.plan_cache_hits,
+        snap.plan_cache_misses,
+        snap.plan_cache_size,
+        snap.leaked_bytes,
+        lat(&snap.latency),
+        lat(&snap.queue_wait)
+    )
 }
 
 /// Per-rule (applications, total seconds), in first-fired order.
@@ -335,5 +467,71 @@ mod tests {
         for line in trace.to_json_lines().lines() {
             jdm::parse::parse_item(line.as_bytes()).expect("each trace line is valid JSON");
         }
+    }
+
+    fn service_snapshot() -> ServiceSnapshot {
+        let h = Harness {
+            scale: Scale::Tiny,
+            repeat: 1,
+            ..Harness::default()
+        };
+        let spec = h.sensor_spec(64 * 1024, 2, 10);
+        let root = h.dataset("metrics-service-test", &spec);
+        let e = h.engine(
+            &root,
+            ClusterSpec {
+                nodes: 2,
+                partitions_per_node: 2,
+                ..Default::default()
+            },
+            RuleConfig::all(),
+        );
+        let service = vxq_core::QueryService::new(e, vxq_core::ServiceConfig::default());
+        for _ in 0..2 {
+            service
+                .execute(vxq_core::queries::Q1, vxq_core::QueryOptions::default())
+                .expect("Q1 through the service");
+        }
+        service.snapshot()
+    }
+
+    #[test]
+    fn service_exposition_is_well_formed() {
+        let snap = service_snapshot();
+        let prom = service_to_prometheus(&snap);
+        assert!(prom.contains("# TYPE vxq_service_completed_total gauge"));
+        assert!(prom.contains("vxq_service_completed_total 2"));
+        assert!(prom.contains("vxq_service_plan_cache_hits_total 1"));
+        assert!(prom.contains("vxq_service_leaked_bytes 0"));
+        assert!(prom.contains("vxq_service_latency_seconds{quantile=\"0.99\"}"));
+        assert!(prom.contains("vxq_service_queue_wait_seconds{quantile=\"0.5\"}"));
+        for line in prom.lines().filter(|l| !l.starts_with('#')) {
+            let (_, value) = line.rsplit_once(' ').expect("sample has value");
+            value.parse::<f64>().expect("numeric value");
+        }
+    }
+
+    #[test]
+    fn service_json_snapshot_parses() {
+        let snap = service_snapshot();
+        let json = service_to_json(&snap);
+        let item = jdm::parse::parse_item(json.as_bytes()).expect("valid JSON");
+        assert_eq!(
+            item.get_key("completed")
+                .and_then(|v| v.as_number())
+                .map(|n| n.as_f64()),
+            Some(2.0)
+        );
+        let cache = item.get_key("plan_cache").expect("plan_cache object");
+        let num = |item: &jdm::Item, key: &str| {
+            item.get_key(key)
+                .and_then(|v| v.as_number())
+                .map(|n| n.as_f64())
+        };
+        assert_eq!(num(cache, "hits"), Some(1.0));
+        assert_eq!(num(cache, "misses"), Some(1.0));
+        let lat = item.get_key("latency").expect("latency object");
+        assert_eq!(num(lat, "count"), Some(2.0));
+        assert!(lat.get_key("p99_us").and_then(|v| v.as_number()).is_some());
     }
 }

@@ -1,0 +1,173 @@
+//! Cooperative query cancellation.
+//!
+//! A [`CancelToken`] is created per job by whoever owns the query's
+//! lifecycle (the serving layer, a test, a client with a timeout) and
+//! threaded through [`crate::context::TaskContext`] into every worker
+//! task. Cancellation is **cooperative**: nothing is killed. The runtime
+//! calls [`CancelToken::check`] at frame boundaries — the pipe and join
+//! receive loops, the source chain head, exchange sends, and the
+//! coordinator's result drain — so a fired token unwinds each task at
+//! its next frame, running every destructor on the way out: `MemGrant`s
+//! release their reservations, run files delete themselves, and the
+//! job's `SpillCtx` removes its `vxq-spill-*` directory.
+//!
+//! Deadlines ride on the same token: a token built with
+//! [`CancelToken::with_deadline`] trips itself with
+//! [`CancelReason::Deadline`] the first time a check runs past the
+//! instant. The flag latches — once fired, a token stays fired, so the
+//! job's final error is deterministic even when the channels sever in
+//! racy orders behind it.
+
+use crate::error::{DataflowError, Result};
+use crate::frame::Frame;
+use crate::ops::{BoxWriter, FrameWriter};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Why a token fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelReason {
+    /// Explicit [`CancelToken::cancel`] call (client abandoned the query).
+    Client,
+    /// The token's deadline passed.
+    Deadline,
+}
+
+const LIVE: u8 = 0;
+const BY_CLIENT: u8 = 1;
+const BY_DEADLINE: u8 = 2;
+
+/// Shared cancellation flag with an optional deadline. Cheap to check
+/// (one relaxed load on the live path) and safe to clone across every
+/// task of a job.
+#[derive(Debug, Default)]
+pub struct CancelToken {
+    state: AtomicU8,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that only fires on an explicit [`CancelToken::cancel`].
+    pub fn new() -> Arc<Self> {
+        Arc::new(CancelToken::default())
+    }
+
+    /// A token that additionally fires once `deadline` passes.
+    pub fn with_deadline(deadline: Instant) -> Arc<Self> {
+        Arc::new(CancelToken {
+            state: AtomicU8::new(LIVE),
+            deadline: Some(deadline),
+        })
+    }
+
+    /// Fire the token on behalf of the client. Idempotent; a deadline
+    /// that already fired wins (first reason is kept).
+    pub fn cancel(&self) {
+        let _ = self
+            .state
+            .compare_exchange(LIVE, BY_CLIENT, Ordering::Relaxed, Ordering::Relaxed);
+    }
+
+    /// The reason the token fired, if it has. Latches an expired deadline.
+    pub fn fired(&self) -> Option<CancelReason> {
+        match self.state.load(Ordering::Relaxed) {
+            BY_CLIENT => Some(CancelReason::Client),
+            BY_DEADLINE => Some(CancelReason::Deadline),
+            _ => {
+                if self.deadline.is_some_and(|d| Instant::now() >= d) {
+                    let _ = self.state.compare_exchange(
+                        LIVE,
+                        BY_DEADLINE,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    );
+                    self.fired()
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Frame-boundary check: `Err(DataflowError::Cancelled)` once fired.
+    pub fn check(&self) -> Result<()> {
+        match self.fired() {
+            Some(reason) => Err(DataflowError::Cancelled(reason)),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Frame-granular cancellation probe for source-stage chains: sources
+/// push frames in a tight loop with no receive side, so the runtime puts
+/// this writer at the chain head to get the same per-frame check the
+/// pipe and join loops perform on their receivers.
+pub struct CancelProbe {
+    token: Arc<CancelToken>,
+    inner: BoxWriter,
+}
+
+impl CancelProbe {
+    pub fn new(token: Arc<CancelToken>, inner: BoxWriter) -> Self {
+        CancelProbe { token, inner }
+    }
+}
+
+impl FrameWriter for CancelProbe {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.token.check()?;
+        self.inner.open()
+    }
+
+    fn next_frame(&mut self, frame: &Frame) -> Result<()> {
+        self.token.check()?;
+        self.inner.next_frame(frame)
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.token.check()?;
+        self.inner.close()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn token_latches_client_cancel() {
+        let t = CancelToken::new();
+        assert!(t.check().is_ok());
+        t.cancel();
+        assert_eq!(t.fired(), Some(CancelReason::Client));
+        assert!(matches!(
+            t.check(),
+            Err(DataflowError::Cancelled(CancelReason::Client))
+        ));
+        // Latched: still fired on every later check.
+        assert!(t.check().is_err());
+    }
+
+    #[test]
+    fn deadline_fires_and_sticks() {
+        let t = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert_eq!(t.fired(), Some(CancelReason::Deadline));
+        // A client cancel after the deadline does not change the reason.
+        t.cancel();
+        assert_eq!(t.fired(), Some(CancelReason::Deadline));
+    }
+
+    #[test]
+    fn future_deadline_stays_live() {
+        let t = CancelToken::with_deadline(Instant::now() + Duration::from_secs(3600));
+        assert!(t.check().is_ok());
+        t.cancel();
+        assert_eq!(t.fired(), Some(CancelReason::Client));
+    }
+}

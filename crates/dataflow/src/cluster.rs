@@ -7,6 +7,7 @@
 //! and scheduling code paths are identical to the multi-machine case — the
 //! only thing the simulation removes is the physical wire.
 
+use crate::cancel::{CancelProbe, CancelToken};
 use crate::channel::{bounded, Receiver, Sender};
 use crate::context::{CoreGate, TaskContext};
 use crate::error::{DataflowError, Result};
@@ -82,6 +83,30 @@ pub struct Cluster {
 /// Decoded query result: one row per result tuple.
 pub type Rows = Vec<Vec<Item>>;
 
+/// Per-run overrides for [`Cluster::run_with`]. The default reproduces
+/// [`Cluster::run_observed`]: the cluster's shared tracker (reset at run
+/// start) and a token that never fires.
+pub struct RunOptions {
+    /// Tracker charged for this job's materialized state. `None` uses the
+    /// cluster's shared tracker and resets it first — correct for one job
+    /// at a time. Concurrent jobs must each bring their own tracker (the
+    /// serving layer hands out per-job trackers carrying fair-share
+    /// budgets), because a shared reset mid-flight would corrupt another
+    /// job's accounting.
+    pub mem: Option<Arc<MemTracker>>,
+    /// Cancellation token checked at frame boundaries by every task.
+    pub cancel: Arc<CancelToken>,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            mem: None,
+            cancel: CancelToken::new(),
+        }
+    }
+}
+
 impl Cluster {
     pub fn new(spec: ClusterSpec) -> Self {
         Self::with_memory(spec, MemTracker::new())
@@ -127,14 +152,17 @@ impl Cluster {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn make_ctx(
         &self,
         stage: StageId,
         partition: usize,
         num_partitions: usize,
+        mem: &Arc<MemTracker>,
         counters: &Arc<Counters>,
         profiler: &Arc<Profiler>,
         spill: &Arc<SpillCtx>,
+        cancel: &Arc<CancelToken>,
     ) -> TaskContext {
         let node = partition
             .checked_div(self.spec.partitions_per_node)
@@ -147,11 +175,12 @@ impl Cluster {
             node,
             partitions_per_node: self.spec.partitions_per_node,
             frame_size: self.spec.frame_size,
-            mem: self.mem.clone(),
+            mem: mem.clone(),
             counters: counters.clone(),
             gate: self.gates[node].clone(),
             profiler: Some(profiler.clone()),
             spill: spill.clone(),
+            cancel: cancel.clone(),
         }
     }
 
@@ -169,14 +198,39 @@ impl Cluster {
         job: &JobSpec,
         trace: Option<&Arc<TraceBuffer>>,
     ) -> Result<(Rows, JobStats)> {
+        self.run_with(job, trace, RunOptions::default())
+    }
+
+    /// [`Cluster::run_observed`] with per-run overrides: a job-private
+    /// memory tracker (required for concurrent jobs on one cluster) and a
+    /// cancellation token. A fired token takes precedence over the
+    /// secondary errors cancellation causes (severed channels), so the
+    /// caller always sees [`DataflowError::Cancelled`] — including when
+    /// the deadline passes only after the last frame, since a result the
+    /// client declared dead must not be reported as a success.
+    pub fn run_with(
+        &self,
+        job: &JobSpec,
+        trace: Option<&Arc<TraceBuffer>>,
+        opts: RunOptions,
+    ) -> Result<(Rows, JobStats)> {
         job.validate()?;
         let terminal = job.terminal()?;
         let counters = Counters::new();
         let profiler = Profiler::new();
+        let cancel = opts.cancel;
+        let mem = match opts.mem {
+            Some(m) => m,
+            None => {
+                // Single-job mode: the shared tracker describes this run
+                // alone, so start it from zero.
+                self.mem.reset();
+                self.mem.clone()
+            }
+        };
         // Per-job spill state; dropping it at the end of this function —
         // on success *or* error — removes the job's spill directory.
-        let spill_ctx = SpillCtx::new(self.mem.clone(), self.spill.clone());
-        self.mem.reset();
+        let spill_ctx = SpillCtx::new(mem.clone(), self.spill.clone());
 
         // Each stage has at most one consumer edge in our plans; find it.
         // consumer[s] = (consumer stage, edge index within that stage).
@@ -226,7 +280,9 @@ impl Cluster {
             for id in 0..nstages {
                 let parts = self.stage_partitions(job, id);
                 for p in 0..parts {
-                    let ctx = self.make_ctx(id, p, parts, &counters, &profiler, &spill_ctx);
+                    let ctx = self.make_ctx(
+                        id, p, parts, &mem, &counters, &profiler, &spill_ctx, &cancel,
+                    );
                     // Output writer: collector for the terminal stage,
                     // connector sender otherwise.
                     let out: BoxWriter = if id == terminal {
@@ -288,10 +344,10 @@ impl Cluster {
                         ctx.counters
                             .task_cpu
                             .lock()
-                            .expect("task_cpu lock")
+                            .unwrap_or_else(|e| e.into_inner())
                             .push((ctx.node, cpu));
                         if let Err(e) = r {
-                            let mut slot = err_slot.lock().expect("error slot lock");
+                            let mut slot = err_slot.lock().unwrap_or_else(|e| e.into_inner());
                             if slot.is_none() {
                                 *slot = Some(e);
                             }
@@ -306,10 +362,17 @@ impl Cluster {
             drop(txs);
             drop(result_tx);
 
-            // Drain results on the coordinator thread.
+            // Drain results on the coordinator thread. On cancellation,
+            // stop consuming and drop the receiver: the cascade of severed
+            // channels unblocks any worker waiting on a full exchange, so
+            // even fully backpressured jobs unwind promptly.
+            let result_rx = result_rx; // moved in so it can be dropped below
             let mut rows: Rows = Vec::new();
             let mut decode_err: Option<DataflowError> = None;
             for frame in result_rx.iter() {
+                if cancel.fired().is_some() {
+                    break;
+                }
                 for t in frame.tuples() {
                     let mut row = Vec::with_capacity(t.field_count());
                     let mut ok = true;
@@ -328,8 +391,9 @@ impl Cluster {
                     }
                 }
             }
+            drop(result_rx);
             if let Some(e) = decode_err {
-                let mut slot = first_error.lock().expect("error slot lock");
+                let mut slot = first_error.lock().unwrap_or_else(|e| e.into_inner());
                 if slot.is_none() {
                     *slot = Some(e);
                 }
@@ -337,12 +401,18 @@ impl Cluster {
             Ok::<Rows, DataflowError>(rows)
         })
         .and_then(|rows| {
-            if let Some(e) = first_error.lock().expect("error slot lock").take() {
+            // A fired token is the authoritative outcome: the first error
+            // recorded by a task is usually a symptom (severed exchange,
+            // dropped collector) of the unwind the token started.
+            if let Some(reason) = cancel.fired() {
+                return Err(DataflowError::Cancelled(reason));
+            }
+            if let Some(e) = first_error.lock().unwrap_or_else(|e| e.into_inner()).take() {
                 return Err(e);
             }
             // Simulated cluster time: per-node makespans from task CPU
             // times (see crate::cputime for the model).
-            let task_cpu = counters.task_cpu.lock().expect("task_cpu lock");
+            let task_cpu = counters.task_cpu.lock().unwrap_or_else(|e| e.into_inner());
             let mut per_node: Vec<Vec<std::time::Duration>> = vec![Vec::new(); self.spec.nodes];
             let mut cpu_total = std::time::Duration::ZERO;
             for (node, d) in task_cpu.iter() {
@@ -368,8 +438,8 @@ impl Cluster {
                 elapsed: simulated.max(std::time::Duration::from_micros(1)),
                 wall_elapsed: started.elapsed(),
                 cpu_total,
-                peak_memory: self.mem.peak(),
-                peak_cached: self.mem.cached_peak(),
+                peak_memory: mem.peak(),
+                peak_cached: mem.cached_peak(),
                 network_bytes: counters.network_bytes.load(Ordering::Relaxed) as usize,
                 frames_shipped: counters.frames_shipped.load(Ordering::Relaxed) as usize,
                 result_tuples: rows.len(),
@@ -391,7 +461,11 @@ fn run_task(
 ) -> Result<()> {
     match &stage.kind {
         StageKind::Source { scan, chain } => {
+            // Sources push in a tight loop with no receive side; the probe
+            // at the chain head gives them the same per-frame cancellation
+            // check the receive loops below perform.
             let chain = chain.create(ctx, out)?;
+            let chain: BoxWriter = Box::new(CancelProbe::new(ctx.cancel.clone(), chain));
             let mut source = scan.create(ctx)?;
             run_source(source.as_mut(), ctx.frame_size, chain)
         }
@@ -400,8 +474,10 @@ fn run_task(
             let rx = inputs.pop().expect("pipe stage has one input");
             head.open()?;
             for frame in rx.iter() {
+                ctx.check_cancelled()?;
                 head.next_frame(&frame)?;
             }
+            ctx.check_cancelled()?;
             head.close()
         }
         StageKind::Join { factory, .. } => {
@@ -413,12 +489,15 @@ fn run_task(
             let build_rx = inputs.pop().expect("join stage build input");
             op.open()?;
             for frame in build_rx.iter() {
+                ctx.check_cancelled()?;
                 op.build_frame(&frame)?;
             }
             op.build_done()?;
             for frame in probe_rx.iter() {
+                ctx.check_cancelled()?;
                 op.probe_frame(&frame)?;
             }
+            ctx.check_cancelled()?;
             op.close()
         }
     }

@@ -1,5 +1,6 @@
 //! Per-task execution context and the per-node core gate.
 
+use crate::cancel::CancelToken;
 use crate::ops::BoxWriter;
 use crate::profile::Profiler;
 use crate::spill::{SpillCtx, SpillHandle};
@@ -21,9 +22,12 @@ impl Semaphore {
     }
 
     pub fn acquire(self: &Arc<Self>) -> SemaphoreGuard {
-        let mut p = self.permits.lock().expect("semaphore lock");
+        // Permit counts stay consistent under poisoning (the guard's Drop
+        // runs even when its task panics), so recover instead of wedging
+        // every later job on this gate.
+        let mut p = self.permits.lock().unwrap_or_else(|e| e.into_inner());
         while *p == 0 {
-            p = self.cv.wait(p).expect("semaphore wait");
+            p = self.cv.wait(p).unwrap_or_else(|e| e.into_inner());
         }
         *p -= 1;
         SemaphoreGuard { sem: self.clone() }
@@ -37,7 +41,7 @@ pub struct SemaphoreGuard {
 
 impl Drop for SemaphoreGuard {
     fn drop(&mut self) {
-        let mut p = self.sem.permits.lock().expect("semaphore lock");
+        let mut p = self.sem.permits.lock().unwrap_or_else(|e| e.into_inner());
         *p += 1;
         self.sem.cv.notify_one();
     }
@@ -104,6 +108,9 @@ pub struct TaskContext {
     /// Per-job spill state: memory grants and run files for the stateful
     /// operators (see [`crate::spill`]).
     pub spill: Arc<SpillCtx>,
+    /// Per-job cancellation token, checked at frame boundaries (see
+    /// [`crate::cancel`]).
+    pub cancel: Arc<CancelToken>,
 }
 
 impl TaskContext {
@@ -133,6 +140,11 @@ impl TaskContext {
     /// under the task's stage and partition.
     pub fn spill_handle(&self, op: &'static str) -> SpillHandle {
         self.spill.handle(op, self.stage, self.partition)
+    }
+
+    /// Frame-boundary cancellation check (see [`crate::cancel`]).
+    pub fn check_cancelled(&self) -> crate::error::Result<()> {
+        self.cancel.check()
     }
 }
 
@@ -182,6 +194,7 @@ mod tests {
             gate: CoreGate::unlimited(),
             profiler: None,
             spill: SpillCtx::unlimited(),
+            cancel: CancelToken::new(),
         };
         assert_eq!(ctx.node_of(0), 0);
         assert_eq!(ctx.node_of(3), 0);

@@ -26,6 +26,9 @@ pub enum DataflowError {
     OutOfMemory { requested: usize, budget: usize },
     /// Spill subsystem failure (run-file I/O, spill-directory lifecycle).
     Spill(String),
+    /// The job's cancellation token fired (client cancel or deadline);
+    /// the run unwound cooperatively at a frame boundary.
+    Cancelled(crate::cancel::CancelReason),
 }
 
 impl fmt::Display for DataflowError {
@@ -49,6 +52,12 @@ impl fmt::Display for DataflowError {
                 )
             }
             DataflowError::Spill(m) => write!(f, "spill error: {m}"),
+            DataflowError::Cancelled(crate::cancel::CancelReason::Client) => {
+                write!(f, "query cancelled by client")
+            }
+            DataflowError::Cancelled(crate::cancel::CancelReason::Deadline) => {
+                write!(f, "query deadline exceeded")
+            }
         }
     }
 }

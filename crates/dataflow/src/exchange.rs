@@ -46,6 +46,11 @@ fn account(ctx: &TaskContext, dst_partition: usize, frame: &Frame) {
 }
 
 fn send(ctx: &TaskContext, tx: &Sender<Frame>, dst: usize, frame: Frame) -> Result<()> {
+    // Cancellation check per shipped frame: operators that do their heavy
+    // lifting inside `close()` (external-sort merges, join emission) have
+    // no receive loop left to notice a fired token, but they still push
+    // every output frame through here.
+    ctx.check_cancelled()?;
     account(ctx, dst, &frame);
     tx.send(frame)
         .map_err(|_| DataflowError::Worker("exchange receiver dropped".into()))
@@ -234,6 +239,7 @@ mod sender_tests {
             gate: CoreGate::unlimited(),
             profiler: None,
             spill: crate::spill::SpillCtx::unlimited(),
+            cancel: crate::cancel::CancelToken::new(),
         }
     }
 

@@ -31,7 +31,11 @@
 //!   probes, aggregated into a [`profile::JobProfile`].
 //! * [`trace`] — bounded ring buffer of query-lifecycle spans, exportable
 //!   as JSON lines or a Chrome trace-event file.
+//! * [`cancel`] — cooperative cancellation tokens (client cancel +
+//!   deadlines), checked at frame boundaries by every run loop and
+//!   exchange so a fired job unwinds cleanly and releases its resources.
 
+pub mod cancel;
 pub mod channel;
 pub mod cluster;
 pub mod context;
@@ -46,7 +50,8 @@ pub mod spill;
 pub mod stats;
 pub mod trace;
 
-pub use cluster::{Cluster, ClusterSpec, Rows};
+pub use cancel::{CancelReason, CancelToken};
+pub use cluster::{Cluster, ClusterSpec, Rows, RunOptions};
 pub use context::{CoreGate, TaskContext};
 pub use error::{DataflowError, Result};
 pub use frame::{Frame, FrameAppender, TupleRef};

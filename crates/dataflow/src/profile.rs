@@ -229,9 +229,12 @@ impl Profiler {
     pub fn register(&self, stage: usize, partition: usize, name: &'static str) -> Arc<OpMetrics> {
         let metrics = OpMetrics::new();
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        // Probe lists stay consistent under poisoning (pushes are atomic
+        // appends), so recover: a panicked task must not wedge profiling
+        // for the rest of the job.
         self.records
             .lock()
-            .expect("profiler lock")
+            .unwrap_or_else(|e| e.into_inner())
             .push(ProbeRecord {
                 stage,
                 partition,
@@ -250,7 +253,10 @@ impl Profiler {
 
     /// Record one scan split's runtime metrics.
     pub fn record_split(&self, split: SplitProfile) {
-        self.splits.lock().expect("profiler lock").push(split);
+        self.splits
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(split);
     }
 
     /// Wrap a two-input operator in a registered probe.
@@ -267,7 +273,7 @@ impl Profiler {
     /// Fold all probes into the per-operator profile. Output counts, busy
     /// and emit-stall time come from adjacent probes (see module docs).
     pub fn finish(&self) -> JobProfile {
-        let records = self.records.lock().expect("profiler lock");
+        let records = self.records.lock().unwrap_or_else(|e| e.into_inner());
         let mut ops = Vec::with_capacity(records.len());
         // Group records by (stage, partition), ordered front-to-back.
         let mut sorted: Vec<&ProbeRecord> = records.iter().collect();
@@ -318,7 +324,11 @@ impl Profiler {
             }
             i = j;
         }
-        let mut splits = self.splits.lock().expect("profiler lock").clone();
+        let mut splits = self
+            .splits
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
         splits.sort_by(|a, b| {
             (a.stage, a.partition, &a.file, a.split).cmp(&(b.stage, b.partition, &b.file, b.split))
         });

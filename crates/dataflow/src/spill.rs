@@ -209,14 +209,19 @@ impl SpillCtx {
 
     /// Per-operator spill profiles recorded so far, ordered by placement.
     pub fn op_profiles(&self) -> Vec<SpillOpProfile> {
-        let mut ops = self.stats.ops.lock().expect("spill ops lock").clone();
+        let mut ops = self
+            .stats
+            .ops
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
         ops.sort_by_key(|o| (o.stage, o.partition, o.op));
         ops
     }
 
     /// The per-job spill directory, if any spill created it.
     pub fn dir_if_created(&self) -> Option<PathBuf> {
-        self.dir.lock().expect("spill dir lock").clone()
+        self.dir.lock().unwrap_or_else(|e| e.into_inner()).clone()
     }
 
     /// Flag a tolerated budget violation (legacy materializing operators
@@ -226,7 +231,7 @@ impl SpillCtx {
     }
 
     fn run_path(&self) -> Result<PathBuf> {
-        let mut dir = self.dir.lock().expect("spill dir lock");
+        let mut dir = self.dir.lock().unwrap_or_else(|e| e.into_inner());
         if dir.is_none() {
             let root = self.config.dir.clone().unwrap_or_else(std::env::temp_dir);
             let name = format!(
@@ -249,7 +254,10 @@ impl SpillCtx {
 
 impl Drop for SpillCtx {
     fn drop(&mut self) {
-        if let Some(dir) = self.dir.lock().ok().and_then(|mut d| d.take()) {
+        // Recover a poisoned lock: a panicked task must not leave the
+        // job's vxq-spill-* directory behind.
+        let dir = self.dir.lock().unwrap_or_else(|e| e.into_inner()).take();
+        if let Some(dir) = dir {
             let _ = std::fs::remove_dir_all(dir);
         }
     }
@@ -342,7 +350,7 @@ impl SpillHandle {
             .stats
             .ops
             .lock()
-            .expect("spill ops lock")
+            .unwrap_or_else(|e| e.into_inner())
             .push(SpillOpProfile {
                 stage: self.stage,
                 partition: self.partition,

@@ -119,6 +119,14 @@ impl MemTracker {
         self.budget.load(Ordering::Relaxed) as usize
     }
 
+    /// Replace the budget (0 = unlimited). The serving layer uses this to
+    /// rebalance fair shares while jobs run: shrinking a running job's
+    /// share does not revoke memory it holds, it just makes the job's
+    /// next grant growth fail — which is the spill signal.
+    pub fn set_budget(&self, budget: usize) {
+        self.budget.store(budget as u64, Ordering::Relaxed);
+    }
+
     /// Reset counters (between benchmark runs).
     pub fn reset(&self) {
         self.current.store(0, Ordering::Relaxed);

@@ -98,7 +98,10 @@ impl TraceBuffer {
     }
 
     pub fn push(&self, event: TraceEvent) {
-        let mut q = self.events.lock().expect("trace lock");
+        // The ring stays structurally sound under poisoning (pushes and
+        // pops are atomic with respect to the guard), so recover rather
+        // than losing the whole trace to one panicked task.
+        let mut q = self.events.lock().unwrap_or_else(|e| e.into_inner());
         if q.len() == self.capacity {
             q.pop_front();
             self.dropped.fetch_add(1, Ordering::Relaxed);
@@ -160,7 +163,7 @@ impl TraceBuffer {
     }
 
     pub fn len(&self) -> usize {
-        self.events.lock().expect("trace lock").len()
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -171,7 +174,7 @@ impl TraceBuffer {
     pub fn events(&self) -> Vec<TraceEvent> {
         self.events
             .lock()
-            .expect("trace lock")
+            .unwrap_or_else(|e| e.into_inner())
             .iter()
             .cloned()
             .collect()

@@ -74,6 +74,51 @@ impl Default for CompileOptions {
     }
 }
 
+/// Canonical identity of a compiled query: the cache key of the serving
+/// layer's plan cache. Two queries share an optimized plan exactly when
+/// their normalized text, active rule families, and scan behaviour all
+/// match — `data_root` and cluster shape are engine-wide, so a cache held
+/// per engine need not key on them.
+pub fn plan_cache_key(
+    query: &str,
+    rules: &algebra::rules::RuleConfig,
+    scan: &ScanOptions,
+) -> String {
+    format!("{}\u{1}{rules:?}\u{1}{scan:?}", normalize_query(query))
+}
+
+/// Collapse insignificant whitespace so formatting variants of one query
+/// hit the same cache entry. Conservative: quoted strings are preserved
+/// verbatim, everything outside them has its whitespace runs collapsed to
+/// one space.
+pub fn normalize_query(query: &str) -> String {
+    let mut out = String::with_capacity(query.len());
+    let mut in_str = false;
+    let mut pending_space = false;
+    for c in query.chars() {
+        if in_str {
+            out.push(c);
+            if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        if c.is_whitespace() {
+            pending_space = !out.is_empty();
+            continue;
+        }
+        if pending_space {
+            out.push(' ');
+            pending_space = false;
+        }
+        out.push(c);
+        if c == '"' {
+            in_str = true;
+        }
+    }
+    out
+}
+
 /// Compile an optimized logical plan into an executable job.
 pub fn compile_plan(plan: &LogicalPlan, opts: &CompileOptions) -> Result<JobSpec> {
     let mut job = JobSpec::new();

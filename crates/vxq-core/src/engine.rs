@@ -7,7 +7,9 @@ use crate::scan::ScanOptions;
 use algebra::rules::{RuleConfig, RuleFiring, RuleSet};
 use algebra::LogicalPlan;
 use dataflow::trace::ArgValue;
-use dataflow::{Cluster, ClusterSpec, JobStats, Rows, TraceBuffer};
+use dataflow::{
+    CancelToken, Cluster, ClusterSpec, JobStats, MemTracker, Rows, RunOptions, TraceBuffer,
+};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -97,6 +99,32 @@ pub struct QueryResult {
     pub applied_rules: Vec<&'static str>,
     /// One record per rule application, with duration and plan-size delta.
     pub rule_firings: Vec<RuleFiring>,
+}
+
+/// A query carried through parse → translate → optimize, ready to run.
+/// Reusable and shareable: the serving layer's plan cache stores these and
+/// skips the whole front half of the pipeline on a hit. Compilation stays
+/// per-execution — compiled jobs capture per-job scan caches, so they must
+/// not outlive one run.
+#[derive(Clone)]
+pub struct PreparedQuery {
+    /// The optimized logical plan.
+    pub plan: Arc<LogicalPlan>,
+    /// The plan in textual EXPLAIN form (precomputed once).
+    pub explain: String,
+    /// One record per rule application during optimization.
+    pub rule_firings: Vec<RuleFiring>,
+}
+
+/// Per-execution overrides for [`Engine::execute_prepared`].
+#[derive(Default)]
+pub struct ExecOptions {
+    /// Job-private memory tracker (budget included). `None` charges the
+    /// engine's shared tracker, which is reset per run — only correct for
+    /// one query at a time; concurrent callers must supply their own.
+    pub mem: Option<Arc<MemTracker>>,
+    /// Cancellation token checked at frame boundaries during the run.
+    pub cancel: Option<Arc<CancelToken>>,
 }
 
 /// The JSONiq query engine: parse → translate → optimize → compile → run.
@@ -224,11 +252,68 @@ impl Engine {
     ///
     /// Note on statistics: the cluster-wide memory tracker is reset at the
     /// start of each run, so `stats.peak_memory` describes this query
-    /// alone. Executing concurrently on one `Engine` interleaves that
-    /// accounting (results stay correct); use one engine per thread when
-    /// per-query statistics matter.
+    /// alone. For concurrent execution on one `Engine`, go through
+    /// [`crate::service::QueryService`] (or call
+    /// [`Engine::execute_prepared`] with a per-job tracker): each job then
+    /// gets its own accounting and fair budget share.
     pub fn execute(&self, query: &str) -> Result<QueryResult> {
         self.execute_with_trace(query, None)
+    }
+
+    /// Parse, translate and optimize into a reusable [`PreparedQuery`]
+    /// without running it, recording lifecycle spans when `trace` is
+    /// given.
+    pub fn prepare(&self, query: &str, trace: Option<&TraceBuffer>) -> Result<PreparedQuery> {
+        let (plan, rule_firings) = self.optimize_traced(query, trace)?;
+        Ok(PreparedQuery {
+            explain: plan.explain(),
+            plan: Arc::new(plan),
+            rule_firings,
+        })
+    }
+
+    /// Compile and run a prepared query, skipping parse → translate →
+    /// optimize entirely. `opts` carries the serving layer's per-job
+    /// hooks: a private memory tracker (fair-share budget) and a
+    /// cancellation token.
+    pub fn execute_prepared(
+        &self,
+        prepared: &PreparedQuery,
+        trace: Option<&Arc<TraceBuffer>>,
+        opts: ExecOptions,
+    ) -> Result<QueryResult> {
+        let job = {
+            let _span = trace.map(|t| t.span("compile", "lifecycle"));
+            compile_plan(
+                &prepared.plan,
+                &CompileOptions {
+                    data_root: self.config.data_root.clone(),
+                    nodes: self.config.cluster.nodes,
+                    two_step_aggregation: self.config.rules.two_step_aggregation,
+                    scan: self.config.scan.clone(),
+                    pool: self.pool.clone(),
+                },
+            )?
+        };
+        let run_opts = RunOptions {
+            mem: opts.mem,
+            cancel: opts.cancel.unwrap_or_default(),
+        };
+        let (rows, stats) = {
+            let _span = trace.map(|t| {
+                let mut s = t.span("execute", "lifecycle");
+                s.arg("stages", job.stages.len());
+                s
+            });
+            self.cluster.run_with(&job, trace, run_opts)?
+        };
+        Ok(QueryResult {
+            rows,
+            stats,
+            plan: prepared.explain.clone(),
+            applied_rules: prepared.rule_firings.iter().map(|f| f.rule).collect(),
+            rule_firings: prepared.rule_firings.clone(),
+        })
     }
 
     /// Execute a query while recording the full lifecycle — parse,
@@ -246,35 +331,8 @@ impl Engine {
         query: &str,
         trace: Option<&Arc<TraceBuffer>>,
     ) -> Result<QueryResult> {
-        let (plan, rule_firings) = self.optimize_traced(query, trace.map(Arc::as_ref))?;
-        let job = {
-            let _span = trace.map(|t| t.span("compile", "lifecycle"));
-            compile_plan(
-                &plan,
-                &CompileOptions {
-                    data_root: self.config.data_root.clone(),
-                    nodes: self.config.cluster.nodes,
-                    two_step_aggregation: self.config.rules.two_step_aggregation,
-                    scan: self.config.scan.clone(),
-                    pool: self.pool.clone(),
-                },
-            )?
-        };
-        let (rows, stats) = {
-            let _span = trace.map(|t| {
-                let mut s = t.span("execute", "lifecycle");
-                s.arg("stages", job.stages.len());
-                s
-            });
-            self.cluster.run_observed(&job, trace)?
-        };
-        Ok(QueryResult {
-            rows,
-            stats,
-            plan: plan.explain(),
-            applied_rules: rule_firings.iter().map(|f| f.rule).collect(),
-            rule_firings,
-        })
+        let prepared = self.prepare(query, trace.map(Arc::as_ref))?;
+        self.execute_prepared(&prepared, trace, ExecOptions::default())
     }
 
     /// `EXPLAIN ANALYZE`: execute the query and render the optimized plan
@@ -411,4 +469,55 @@ pub fn render_analysis(result: &QueryResult) -> String {
         st.elapsed, st.cpu_total, st.peak_memory, st.peak_cached, st.network_bytes, st.frames_shipped, st.result_tuples
     );
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_memory_budget;
+
+    #[test]
+    fn parses_plain_byte_counts() {
+        assert_eq!(parse_memory_budget("0"), Some(0));
+        assert_eq!(parse_memory_budget("1"), Some(1));
+        assert_eq!(parse_memory_budget("1048576"), Some(1 << 20));
+        assert_eq!(parse_memory_budget("  42  "), Some(42));
+    }
+
+    #[test]
+    fn suffixes_are_case_insensitive() {
+        for (s, expected) in [
+            ("256k", 256usize * 1024),
+            ("256K", 256 * 1024),
+            ("64m", 64 << 20),
+            ("64M", 64 << 20),
+            ("2g", 2 << 30),
+            ("2G", 2 << 30),
+            ("0K", 0),
+            ("0G", 0),
+            (" 8 M ", 8 << 20),
+        ] {
+            assert_eq!(parse_memory_budget(s), Some(expected), "input {s:?}");
+        }
+    }
+
+    #[test]
+    fn overflow_is_rejected_not_wrapped() {
+        // u64::MAX + 1: the numeric parse itself overflows.
+        assert_eq!(parse_memory_budget("18446744073709551616"), None);
+        // Fits as a number, overflows once the suffix multiplies it.
+        assert_eq!(parse_memory_budget("99999999999999999999g"), None);
+        assert_eq!(parse_memory_budget("18446744073709551615k"), None);
+        // Near-miss sanity: a large-but-valid value still parses (the
+        // ISSUE's "999999999g" example fits in 64 bits: ~2^60).
+        assert_eq!(parse_memory_budget("999999999g"), Some(999_999_999 << 30));
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        for s in [
+            "", " ", "k", "g", "lots", "1.5g", "-5", "-5m", "0x10", "12kb", "m8", "8 8m",
+        ] {
+            assert_eq!(parse_memory_budget(s), None, "input {s:?}");
+        }
+    }
 }

@@ -16,6 +16,19 @@ pub enum EngineError {
     Execute(dataflow::DataflowError),
     /// Data access outside the runtime (setup, paths).
     Io(std::io::Error),
+    /// The query service refused admission: the wait queue is full.
+    Overloaded {
+        /// Queries waiting when this one was refused.
+        queued: usize,
+        /// The service's configured queue limit.
+        queue_limit: usize,
+    },
+    /// The query was cancelled by its client before completing.
+    Cancelled,
+    /// The query's deadline passed before its result was delivered.
+    DeadlineExceeded,
+    /// The query service is shutting down and no longer accepts work.
+    ServiceClosed,
 }
 
 impl fmt::Display for EngineError {
@@ -25,6 +38,16 @@ impl fmt::Display for EngineError {
             EngineError::Compile(m) => write!(f, "compile error: {m}"),
             EngineError::Execute(e) => write!(f, "execution error: {e}"),
             EngineError::Io(e) => write!(f, "I/O error: {e}"),
+            EngineError::Overloaded {
+                queued,
+                queue_limit,
+            } => write!(
+                f,
+                "service overloaded: {queued} queries queued (limit {queue_limit})"
+            ),
+            EngineError::Cancelled => write!(f, "query cancelled"),
+            EngineError::DeadlineExceeded => write!(f, "query deadline exceeded"),
+            EngineError::ServiceClosed => write!(f, "query service is shut down"),
         }
     }
 }

@@ -48,8 +48,16 @@ pub mod pool;
 pub mod queries;
 pub mod rtexpr;
 pub mod scan;
+pub mod service;
 
-pub use engine::{parse_memory_budget, render_analysis, Engine, EngineConfig, QueryResult};
+pub use engine::{
+    parse_memory_budget, render_analysis, Engine, EngineConfig, ExecOptions, PreparedQuery,
+    QueryResult,
+};
 pub use error::{EngineError, Result};
 pub use pool::ScanBufferPool;
 pub use scan::ScanOptions;
+pub use service::{
+    LatencySummary, Priority, QueryOptions, QueryService, QueryTicket, ServiceConfig,
+    ServiceResponse, ServiceSnapshot,
+};

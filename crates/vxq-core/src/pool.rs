@@ -8,7 +8,9 @@
 //! allocate at all (the pool warms up to the largest file seen).
 //!
 //! The pool is deliberately dumb — two mutexed free lists with a bounded
-//! entry count. Scan tasks hold a buffer across an entire file read +
+//! entry count. The free lists stay structurally sound if a holder of the
+//! lock panics, so poisoned locks are recovered rather than propagating
+//! one task's panic into every concurrent scan sharing the pool. Scan tasks hold a buffer across an entire file read +
 //! parse, so the lock is touched twice per file, not per operation.
 
 use jdm::index::TapeEntry;
@@ -35,7 +37,7 @@ impl ScanBufferPool {
 
     /// Check out a (cleared) read buffer.
     pub fn take_buf(&self) -> Vec<u8> {
-        match self.bufs.lock().expect("pool lock").pop() {
+        match self.bufs.lock().unwrap_or_else(|e| e.into_inner()).pop() {
             Some(b) => {
                 self.reuses.fetch_add(1, Ordering::Relaxed);
                 b
@@ -47,7 +49,7 @@ impl ScanBufferPool {
     /// Return a read buffer to the pool.
     pub fn put_buf(&self, mut buf: Vec<u8>) {
         buf.clear();
-        let mut bufs = self.bufs.lock().expect("pool lock");
+        let mut bufs = self.bufs.lock().unwrap_or_else(|e| e.into_inner());
         if bufs.len() < MAX_POOLED && buf.capacity() > 0 {
             bufs.push(buf);
         }
@@ -55,7 +57,7 @@ impl ScanBufferPool {
 
     /// Check out a (cleared) index tape.
     pub fn take_tape(&self) -> Vec<TapeEntry> {
-        match self.tapes.lock().expect("pool lock").pop() {
+        match self.tapes.lock().unwrap_or_else(|e| e.into_inner()).pop() {
             Some(t) => {
                 self.reuses.fetch_add(1, Ordering::Relaxed);
                 t
@@ -67,7 +69,7 @@ impl ScanBufferPool {
     /// Return an index tape to the pool.
     pub fn put_tape(&self, mut tape: Vec<TapeEntry>) {
         tape.clear();
-        let mut tapes = self.tapes.lock().expect("pool lock");
+        let mut tapes = self.tapes.lock().unwrap_or_else(|e| e.into_inner());
         if tapes.len() < MAX_POOLED && tape.capacity() > 0 {
             tapes.push(tape);
         }

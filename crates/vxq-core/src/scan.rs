@@ -454,10 +454,14 @@ impl FileIndexCache {
         project: &ProjectionPath,
         ctx: &TaskContext,
     ) -> Result<Arc<LoadedFile>> {
+        // Recover a poisoned map rather than panicking: the map itself is
+        // structurally sound under poisoning (a panicked task can at worst
+        // leave an extra empty slot), and panicking here would cascade one
+        // task's failure into every concurrent query sharing the cache.
         let slot = self
             .map
             .lock()
-            .expect("scan cache lock")
+            .unwrap_or_else(|e| e.into_inner())
             .entry(path.to_path_buf())
             .or_default()
             .clone();
@@ -670,6 +674,7 @@ mod tests {
             gate: CoreGate::unlimited(),
             profiler: None,
             spill: dataflow::spill::SpillCtx::unlimited(),
+            cancel: dataflow::CancelToken::new(),
         }
     }
 
