@@ -25,6 +25,7 @@
 //! | splits-scan | (beyond the paper) intra-file split scanning | [`splits::splits`] |
 //! | spill | (beyond the paper) memory-budget sweep, spilling operators | [`spill::spill`] |
 //! | service | (beyond the paper) concurrent-serving throughput sweep | [`service::service`] |
+//! | stage1 | (beyond the paper) vectorized stage-1 kernel sweep | [`stage1::stage1`] |
 
 pub mod ablation;
 pub mod compare_cluster;
@@ -34,6 +35,7 @@ pub mod rules;
 pub mod service;
 pub mod spill;
 pub mod splits;
+pub mod stage1;
 
 use crate::{Harness, Table};
 
@@ -65,6 +67,7 @@ pub const EXPERIMENTS: &[(&str, ExperimentFn)] = &[
     ("splits-scan", splits::splits),
     ("spill", spill::spill),
     ("service", service::service),
+    ("stage1", stage1::stage1),
 ];
 
 /// Look up an experiment by id.

@@ -43,6 +43,7 @@ pub fn splits(h: &Harness) -> Vec<Table> {
             ScanOptions {
                 intra_file_splits: true,
                 min_split_bytes: 64 * 1024,
+                ..ScanOptions::default()
             },
         ] {
             let e = h.engine_with_scan(&root, cluster.clone(), RuleConfig::all(), scan);

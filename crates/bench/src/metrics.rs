@@ -108,6 +108,35 @@ pub fn to_prometheus(query: &str, r: &QueryResult) -> String {
         "1 if an operator without a spill path overran the budget.",
         st.spill.budget_exceeded as u8 as f64,
     );
+    let (s1_bytes, s1_secs) = stage1_rollup(r);
+    gauge(
+        "stage1_index_bytes_total",
+        "Bytes run through structural-index builds by scan splits.",
+        s1_bytes as f64,
+    );
+    gauge(
+        "stage1_index_seconds_total",
+        "Wall time of structural-index builds across scan splits.",
+        s1_secs,
+    );
+    gauge(
+        "stage1_index_gbps",
+        "Aggregate structural-index build throughput (0 when no index was built).",
+        if s1_secs > 0.0 {
+            s1_bytes as f64 / s1_secs / 1e9
+        } else {
+            0.0
+        },
+    );
+
+    out.push_str("# HELP vxq_stage1_kernel_splits_total Scan splits by stage-1 kernel.\n");
+    out.push_str("# TYPE vxq_stage1_kernel_splits_total gauge\n");
+    for (kernel, count) in kernel_rollup(r) {
+        let _ = writeln!(
+            out,
+            "vxq_stage1_kernel_splits_total{{query=\"{q}\",kernel=\"{kernel}\"}} {count}"
+        );
+    }
 
     out.push_str("# HELP vxq_op_tuples_total Tuples through an operator, by direction.\n");
     out.push_str("# TYPE vxq_op_tuples_total gauge\n");
@@ -288,6 +317,29 @@ pub fn service_to_json(snap: &ServiceSnapshot) -> String {
     )
 }
 
+/// Total (bytes, seconds) of structural-index builds across scan splits.
+fn stage1_rollup(r: &QueryResult) -> (u64, f64) {
+    let splits = &r.stats.profile.splits;
+    (
+        splits.iter().map(|s| s.index_bytes).sum(),
+        splits.iter().map(|s| s.index_elapsed.as_secs_f64()).sum(),
+    )
+}
+
+/// Scan-split counts per stage-1 kernel label, in first-seen order.
+fn kernel_rollup(r: &QueryResult) -> Vec<(&'static str, u64)> {
+    let mut out: Vec<(&'static str, u64)> = Vec::new();
+    for s in &r.stats.profile.splits {
+        if let Some(k) = s.kernel {
+            match out.iter_mut().find(|(name, _)| *name == k) {
+                Some((_, count)) => *count += 1,
+                None => out.push((k, 1)),
+            }
+        }
+    }
+    out
+}
+
 /// Per-rule (applications, total seconds), in first-fired order.
 fn rule_rollup(r: &QueryResult) -> Vec<(&'static str, u64, f64)> {
     let mut out: Vec<(&'static str, u64, f64)> = Vec::new();
@@ -336,6 +388,25 @@ pub fn to_json(query: &str, r: &QueryResult) -> String {
         st.spill.max_recursion,
         st.spill.budget_exceeded
     );
+    let (s1_bytes, s1_secs) = stage1_rollup(r);
+    let _ = write!(
+        out,
+        "\"stage1\":{{\"index_bytes\":{},\"index_us\":{},\"gbps\":{:.3},\"kernels\":{{",
+        s1_bytes,
+        (s1_secs * 1e6) as u64,
+        if s1_secs > 0.0 {
+            s1_bytes as f64 / s1_secs / 1e9
+        } else {
+            0.0
+        }
+    );
+    for (i, (kernel, count)) in kernel_rollup(r).iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{kernel}\":{count}");
+    }
+    out.push_str("}},");
     out.push_str("\"operators\":[");
     for (i, s) in r.stats.profile.summaries().iter().enumerate() {
         if i > 0 {

@@ -210,6 +210,15 @@ pub struct SplitProfile {
     pub bytes: u64,
     /// Wall time spent scanning the split.
     pub elapsed: Duration,
+    /// Bytes run through the structural-index build by *this* split (0
+    /// when the index was built by another split of a shared file, or the
+    /// source needs no index, e.g. binary `.adm`).
+    pub index_bytes: u64,
+    /// Wall time of that structural-index build.
+    pub index_elapsed: Duration,
+    /// Stage-1 kernel label (`scalar`/`swar`/`sse2`/`avx2`) of the index
+    /// this split navigated; `None` for index-free sources.
+    pub kernel: Option<&'static str>,
 }
 
 /// Per-run collector of operator probes.

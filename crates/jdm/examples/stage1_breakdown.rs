@@ -1,0 +1,80 @@
+//! Stage-1 cost breakdown for one JSON file: raw classification
+//! throughput (full and fused index profiles) per kernel, then full
+//! index-build throughput per mode with the kernels interleaved
+//! round-robin so host throttling penalizes them all equally.
+//!
+//! Usage: `stage1_breakdown <file.json> [byte-cap]`
+//!
+//! The optional byte cap truncates the buffer (at a record boundary,
+//! re-closed to stay valid JSON in the GHCN `{"root":[{...,"results":
+//! [...]}]}` shape) to keep the working set cache-resident — useful for
+//! separating compute-bound from memory-bandwidth-bound behavior.
+
+use jdm::index::StructuralIndex;
+use jdm::stage1::{IndexMasks, Kernel, Stage1Masks, Stage1Mode};
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .expect("usage: stage1_breakdown <file.json> [byte-cap]");
+    let mut buf = std::fs::read(&path).unwrap();
+    if let Some(cap) = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        if buf.len() > cap {
+            let cut = buf[..cap].iter().rposition(|&b| b == b'}').unwrap() + 1;
+            buf.truncate(cut);
+            buf.extend_from_slice(b"]}]}");
+        }
+    }
+    let kernels = [Kernel::Swar, Kernel::Sse2, Kernel::Avx2];
+    for k in kernels {
+        let mut m = Stage1Masks::default();
+        m.scan_into(&buf, k); // warm
+        let mut best = f64::INFINITY;
+        for _ in 0..5 {
+            let t = std::time::Instant::now();
+            m.scan_into(&buf, k);
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        println!(
+            "scan full  {:>5}: {:.3} GB/s",
+            k.label(),
+            buf.len() as f64 / best / 1e9
+        );
+    }
+    for k in kernels {
+        let mut m = IndexMasks::default();
+        m.scan_into(&buf, k); // warm
+        let mut best = f64::INFINITY;
+        for _ in 0..5 {
+            let t = std::time::Instant::now();
+            m.scan_into(&buf, k);
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        println!(
+            "scan index {:>5}: {:.3} GB/s",
+            k.label(),
+            buf.len() as f64 / best / 1e9
+        );
+    }
+    let modes = [Stage1Mode::Scalar, Stage1Mode::Swar, Stage1Mode::Avx2];
+    let mut best = [f64::INFINITY; 3];
+    let mut tape = Vec::new();
+    for _ in 0..25 {
+        for (i, &mode) in modes.iter().enumerate() {
+            let t = std::time::Instant::now();
+            let idx = StructuralIndex::build_reusing_with(&buf, tape, mode).unwrap();
+            best[i] = best[i].min(t.elapsed().as_secs_f64());
+            tape = idx.into_tape();
+        }
+    }
+    for (i, &mode) in modes.iter().enumerate() {
+        println!(
+            "build {mode:?}: {:.3} GB/s",
+            buf.len() as f64 / best[i] / 1e9
+        );
+    }
+    println!("swar/scalar ratio: {:.2}x", best[0] / best[1]);
+}

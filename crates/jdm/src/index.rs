@@ -32,7 +32,15 @@ use crate::item::Item;
 use crate::number::Number;
 use crate::parse::{number_at, parse_string_at, scan_number_at};
 use crate::parse::{Event, EventParser, TreeBuilder, MAX_DEPTH};
+use crate::stage1::{IndexBlock, IndexScanner, Kernel, Stage1Mode};
 use std::borrow::Cow;
+use std::cell::RefCell;
+
+thread_local! {
+    /// Per-thread stage-1 scratch: block-mask storage reused across
+    /// documents so steady-state index builds allocate nothing.
+    static STAGE1_SCRATCH: RefCell<Vec<IndexBlock>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Kind of one tape node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,7 +70,7 @@ pub enum TapeKind {
 /// container opens the span covers the *whole value* through its closing
 /// bracket, so slicing `buf[start..end]` of any non-close entry yields
 /// that value's exact text.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TapeEntry {
     pub kind: TapeKind,
     pub start: u32,
@@ -75,30 +83,87 @@ pub struct TapeEntry {
 #[derive(Debug, Clone)]
 pub struct StructuralIndex {
     tape: Vec<TapeEntry>,
+    kernel: Kernel,
 }
 
 impl StructuralIndex {
     /// Build the index over one complete JSON value (trailing bytes after
     /// the value are an error, matching [`crate::parse::parse_item`]).
+    /// Stage-1 kernel selection follows the process-wide `VXQ_STAGE1`
+    /// setting; use [`StructuralIndex::build_with`] to pin it.
     pub fn build(buf: &[u8]) -> Result<Self> {
         Self::build_reusing(buf, Vec::new())
     }
 
+    /// [`StructuralIndex::build`] with an explicit stage-1 mode.
+    pub fn build_with(buf: &[u8], mode: Stage1Mode) -> Result<Self> {
+        Self::build_reusing_with(buf, Vec::new(), mode)
+    }
+
     /// Like [`StructuralIndex::build`], but reuses a previously allocated
     /// tape (cleared first). Recover it with [`StructuralIndex::into_tape`].
-    pub fn build_reusing(buf: &[u8], mut tape: Vec<TapeEntry>) -> Result<Self> {
+    pub fn build_reusing(buf: &[u8], tape: Vec<TapeEntry>) -> Result<Self> {
+        Self::build_reusing_with(buf, tape, Stage1Mode::from_env())
+    }
+
+    /// [`StructuralIndex::build_reusing`] with an explicit stage-1 mode.
+    ///
+    /// In any mode other than [`Stage1Mode::Scalar`] the document is first
+    /// run through the vectorized stage-1 scanner ([`crate::stage1`]) and
+    /// the builder consumes bitmasks — whitespace skipping, string-close
+    /// discovery and clean-string validation become mask iteration. Every
+    /// non-clean case (escapes, control bytes, invalid UTF-8, unterminated
+    /// strings) is delegated to the shared scalar routines, so accepted
+    /// documents, errors and error offsets are identical across modes.
+    pub fn build_reusing_with(
+        buf: &[u8],
+        mut tape: Vec<TapeEntry>,
+        mode: Stage1Mode,
+    ) -> Result<Self> {
         tape.clear();
         if buf.len() > u32::MAX as usize {
             return Err(JdmError::parse(0, "document exceeds the 4 GiB index limit"));
         }
-        let mut b = Builder {
-            buf,
-            pos: 0,
-            tape,
-            stack: Vec::new(),
-        };
-        b.run()?;
-        Ok(StructuralIndex { tape: b.tape })
+        let kernel = mode.resolve();
+        if kernel == Kernel::Scalar {
+            let mut b = Builder {
+                buf,
+                pos: 0,
+                tape,
+                stack: Vec::new(),
+                scanner: None,
+                mask_blk: usize::MAX,
+                mask_word: 0,
+            };
+            b.run()?;
+            return Ok(StructuralIndex {
+                tape: b.tape,
+                kernel,
+            });
+        }
+        STAGE1_SCRATCH.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            let mut b = Builder {
+                buf,
+                pos: 0,
+                tape,
+                stack: Vec::new(),
+                scanner: Some(IndexScanner::new(buf, kernel, &mut scratch)),
+                mask_blk: usize::MAX,
+                mask_word: 0,
+            };
+            b.run()?;
+            Ok(StructuralIndex {
+                tape: b.tape,
+                kernel,
+            })
+        })
+    }
+
+    /// The stage-1 kernel that built this index.
+    #[inline]
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
     }
 
     /// The raw tape.
@@ -149,20 +214,27 @@ impl StructuralIndex {
     }
 
     /// Tape indices of the members of the array at `node` (empty when the
-    /// node is not an array open).
+    /// node is not an array open). Allocates; hot paths should use
+    /// [`StructuralIndex::members_iter`].
     pub fn members(&self, node: usize) -> Vec<usize> {
+        self.members_iter(node).collect()
+    }
+
+    /// Iterator over the member tape indices of the array at `node`
+    /// (empty when the node is not an array open). Zero-alloc equivalent
+    /// of [`StructuralIndex::members`].
+    pub fn members_iter(&self, node: usize) -> Members<'_> {
         let e = &self.tape[node];
-        let mut out = Vec::new();
-        if e.kind != TapeKind::ArrayOpen {
-            return out;
+        let (next, close) = if e.kind == TapeKind::ArrayOpen {
+            (node + 1, e.pair as usize)
+        } else {
+            (0, 0)
+        };
+        Members {
+            index: self,
+            next,
+            close,
         }
-        let close = e.pair as usize;
-        let mut i = node + 1;
-        while i < close {
-            out.push(i);
-            i = self.skip(i);
-        }
-        out
     }
 
     /// Materialize the value at `node` into an [`Item`]. The span was
@@ -217,18 +289,51 @@ impl StructuralIndex {
     }
 }
 
+/// Zero-alloc iterator over an array's member tape indices; see
+/// [`StructuralIndex::members_iter`].
+pub struct Members<'a> {
+    index: &'a StructuralIndex,
+    next: usize,
+    close: usize,
+}
+
+impl Iterator for Members<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.next >= self.close {
+            return None;
+        }
+        let cur = self.next;
+        self.next = self.index.skip(cur);
+        Some(cur)
+    }
+}
+
 /// Iterative (non-recursive) validating scanner.
 struct Builder<'a> {
     buf: &'a [u8],
     pos: usize,
     tape: Vec<TapeEntry>,
-    /// Tape indices of currently open containers.
-    stack: Vec<u32>,
+    /// Currently open containers, encoded `tape_index << 1 | is_object`
+    /// so the separator loop never has to load the open entry's kind.
+    stack: Vec<u64>,
+    /// Streaming stage-1 classifier (fused index profile) when a vector
+    /// kernel is active; `None` in scalar mode (the original per-byte
+    /// scan). Classification runs in cache-sized chunks just ahead of
+    /// this builder's byte cursor, so the document is read once.
+    scanner: Option<IndexScanner<'a>>,
+    /// Running stage-1 cursor: the block index and remaining `interesting`
+    /// bits last consulted by [`Builder::string_end`]. The builder's
+    /// cursor only moves forward, so lookups in the same 64-byte block
+    /// reuse this word instead of re-deriving it from the scanner.
+    mask_blk: usize,
+    mask_word: u64,
 }
 
 impl Builder<'_> {
     fn run(&mut self) -> Result<()> {
-        self.skip_ws();
         self.value()?;
         self.skip_ws();
         if self.pos != self.buf.len() {
@@ -242,12 +347,10 @@ impl Builder<'_> {
         let base = self.stack.len();
         loop {
             // At value position.
-            self.skip_ws();
-            match self.peek()? {
+            match self.next_token()? {
                 b'{' => {
                     self.open(TapeKind::ObjectOpen)?;
-                    self.skip_ws();
-                    match self.peek()? {
+                    match self.next_token()? {
                         b'}' => {
                             self.close_container();
                             if self.after_value(base)? {
@@ -260,8 +363,7 @@ impl Builder<'_> {
                 }
                 b'[' => {
                     self.open(TapeKind::ArrayOpen)?;
-                    self.skip_ws();
-                    if self.peek()? == b']' {
+                    if self.next_token()? == b']' {
                         self.close_container();
                         if self.after_value(base)? {
                             return Ok(());
@@ -286,20 +388,25 @@ impl Builder<'_> {
             if self.stack.len() == base {
                 return Ok(true);
             }
-            self.skip_ws();
-            let top = *self.stack.last().expect("container open") as usize;
-            let in_object = self.tape[top].kind == TapeKind::ObjectOpen;
-            match self.peek()? {
+            let in_object = *self.stack.last().expect("container open") & 1 == 1;
+            match self.next_token()? {
                 b',' => {
                     self.pos += 1;
-                    self.skip_ws();
                     if in_object {
-                        if self.peek()? != b'"' {
+                        if self.next_token()? != b'"' {
                             return Err(JdmError::parse(self.pos, "expected object key"));
                         }
                         self.key()?;
-                    } else if self.peek()? == b']' {
+                    } else if self.next_token()? == b']' {
                         return Err(JdmError::parse(self.pos, "trailing comma in array"));
+                    }
+                    // Scalar member values complete right here without
+                    // bouncing through `value()` — the dominant shape in
+                    // record-like data is long runs of scalar members.
+                    let c = self.next_token()?;
+                    if !matches!(c, b'{' | b'[') {
+                        self.atom(c)?;
+                        continue;
                     }
                     return Ok(false);
                 }
@@ -317,17 +424,81 @@ impl Builder<'_> {
         }
     }
 
+    /// Scan the string whose opening quote is at `self.pos`; returns the
+    /// offset just past the closing quote. Mask-driven when stage-1 masks
+    /// are present: the closing quote comes straight from the
+    /// `interesting` bitmask, and a clean span (no escapes, no control
+    /// bytes, pure ASCII) is accepted without per-byte scanning. Every
+    /// non-clean case delegates to [`parse_string_at`], so validation
+    /// behavior and error offsets are identical to the scalar scan by
+    /// construction.
+    fn string_end(&mut self) -> Result<usize> {
+        if self.scanner.is_none() {
+            return Ok(parse_string_at(self.buf, self.pos)?.1);
+        }
+        // The cursor (`mask_blk`/`mask_word`) only moves forward, matching
+        // the builder's byte cursor, so consecutive strings in the same
+        // 64-byte block skip the block lookup entirely.
+        let from = self.pos + 1;
+        let blk = from >> 6;
+        if blk == self.mask_blk {
+            self.mask_word &= !0u64 << (from & 63);
+        } else {
+            self.mask_blk = blk;
+            self.mask_word = match self.interesting_word(blk) {
+                Some(w) => w & (!0u64 << (from & 63)),
+                None => 0,
+            };
+        }
+        loop {
+            if self.mask_word != 0 {
+                let p = (self.mask_blk << 6) | self.mask_word.trailing_zeros() as usize;
+                // Clean span: the first interesting byte of the body is a
+                // quote, which is unescaped by construction (an escaping
+                // backslash would have been interesting first) — nothing
+                // in between needs validation.
+                if self.buf[p] == b'"' {
+                    return Ok(p + 1);
+                }
+                break;
+            }
+            match self.interesting_word(self.mask_blk + 1) {
+                Some(w) => {
+                    self.mask_blk += 1;
+                    self.mask_word = w;
+                }
+                None => break,
+            }
+        }
+        // Escapes / control bytes / non-ASCII, or no closing quote at all
+        // (unterminated, or an error before EOF): the shared scalar scan
+        // validates and reports exact offsets.
+        Ok(parse_string_at(self.buf, self.pos)?.1)
+    }
+
+    /// Stage-1 `interesting` word for block `blk`, advancing the
+    /// streaming classifier as needed. Masked mode only.
+    #[inline(always)]
+    fn interesting_word(&mut self, blk: usize) -> Option<u64> {
+        self.scanner.as_mut().expect("masked mode").word(blk)
+    }
+
     /// Record a key entry and consume through the `:` (cursor lands at the
     /// value position, whitespace skipped).
     fn key(&mut self) -> Result<()> {
         let start = self.pos;
-        let (_, end) = parse_string_at(self.buf, self.pos)?;
+        let end = self.string_end()?;
         self.tape.push(TapeEntry {
             kind: TapeKind::Key,
             start: start as u32,
             end: end as u32,
             pair: 0,
         });
+        // Compact JSON puts the ':' right after the key.
+        if self.buf.get(end) == Some(&b':') {
+            self.pos = end + 1;
+            return Ok(());
+        }
         self.pos = end;
         self.skip_ws();
         if self.peek()? != b':' {
@@ -344,24 +515,27 @@ impl Builder<'_> {
                 format!("nesting depth exceeds {MAX_DEPTH}"),
             ));
         }
-        let idx = self.tape.len() as u32;
+        let idx = self.tape.len() as u64;
+        let is_object = (kind == TapeKind::ObjectOpen) as u64;
         self.tape.push(TapeEntry {
             kind,
             start: self.pos as u32,
             end: self.pos as u32 + 1,
             pair: 0,
         });
-        self.stack.push(idx);
+        self.stack.push(idx << 1 | is_object);
         self.pos += 1;
         Ok(())
     }
 
     fn close_container(&mut self) {
-        let open = self.stack.pop().expect("container open") as usize;
+        let enc = self.stack.pop().expect("container open");
+        let open = (enc >> 1) as usize;
         let close = self.tape.len() as u32;
-        let kind = match self.tape[open].kind {
-            TapeKind::ObjectOpen => TapeKind::ObjectClose,
-            _ => TapeKind::ArrayClose,
+        let kind = if enc & 1 == 1 {
+            TapeKind::ObjectClose
+        } else {
+            TapeKind::ArrayClose
         };
         self.tape.push(TapeEntry {
             kind,
@@ -377,10 +551,7 @@ impl Builder<'_> {
     fn atom(&mut self, c: u8) -> Result<()> {
         let start = self.pos;
         let (kind, end) = match c {
-            b'"' => {
-                let (_, end) = parse_string_at(self.buf, self.pos)?;
-                (TapeKind::String, end)
-            }
+            b'"' => (TapeKind::String, self.string_end()?),
             b'-' | b'0'..=b'9' => {
                 let (end, _) = scan_number_at(self.buf, self.pos)?;
                 (TapeKind::Number, end)
@@ -421,8 +592,29 @@ impl Builder<'_> {
         Ok(self.buf[self.pos])
     }
 
+    /// Skip whitespace and return the byte now under the cursor — the
+    /// first byte of the next token — or `UnexpectedEof` at the
+    /// post-whitespace offset. Single load + test in the common compact
+    /// case (cursor already on a non-whitespace byte).
+    #[inline]
+    fn next_token(&mut self) -> Result<u8> {
+        match self.buf.get(self.pos) {
+            Some(&b) if !matches!(b, b' ' | b'\t' | b'\n' | b'\r') => Ok(b),
+            Some(_) => {
+                self.skip_ws();
+                self.peek()
+            }
+            None => Err(JdmError::UnexpectedEof { offset: self.pos }),
+        }
+    }
+
     #[inline]
     fn skip_ws(&mut self) {
+        // Common case first (compact JSON): the cursor is already on a
+        // non-whitespace byte.
+        // Whitespace runs in JSON are overwhelmingly 0-1 bytes (compact) or a
+        // handful (pretty-printed indentation); a plain byte loop beats a
+        // masked lookup here, so both scalar and masked builds share it.
         while self.pos < self.buf.len()
             && matches!(self.buf[self.pos], b' ' | b'\t' | b'\n' | b'\r')
         {
@@ -534,6 +726,60 @@ mod tests {
         assert!(StructuralIndex::build(deep.as_bytes()).is_err());
         let ok = format!("{}1{}", "[".repeat(200), "]".repeat(200));
         assert!(StructuralIndex::build(ok.as_bytes()).is_ok());
+    }
+
+    #[test]
+    fn kernels_build_identical_tapes_or_identical_errors() {
+        use crate::stage1::Stage1Mode;
+        let docs: &[&str] = &[
+            r#"{"a": [1, "x"], "b": null}"#,
+            r#"{"k\n": [1.5, "sé", true, null, -0], "z": {}}"#,
+            "  [ 1 ,\t2 ,\n3 ]  ",
+            r#""just a string with a longer tail padding it past sixty-four bytes……""#,
+            "",
+            "{",
+            "[1,]",
+            "01",
+            "1 2",
+            "tru",
+            r#"{"a" 1}"#,
+            r#""\q""#,
+            r#""\uD800""#,
+            "\"a\x01b\"",
+            "\"unterminated",
+            "\"bad \\",
+        ];
+        for doc in docs {
+            let scalar = StructuralIndex::build_with(doc.as_bytes(), Stage1Mode::Scalar);
+            for mode in [
+                Stage1Mode::Swar,
+                Stage1Mode::Sse2,
+                Stage1Mode::Avx2,
+                Stage1Mode::Auto,
+            ] {
+                let got = StructuralIndex::build_with(doc.as_bytes(), mode);
+                match (&scalar, &got) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(a.tape(), b.tape(), "{mode:?} tape differs on {doc:?}")
+                    }
+                    (Err(a), Err(b)) => assert_eq!(a, b, "{mode:?} error differs on {doc:?}"),
+                    _ => {
+                        panic!("{mode:?} accept/reject mismatch on {doc:?}: {scalar:?} vs {got:?}")
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn members_iter_matches_members() {
+        let t = idx(r#"[{"deep": [[1], 2]}, true, "s", 4.5, null]"#);
+        assert_eq!(t.members_iter(t.root()).collect::<Vec<_>>(), t.members(0));
+        assert_eq!(t.members(0).len(), 5);
+        // Non-array nodes yield nothing.
+        let obj = idx(r#"{"a": 1}"#);
+        assert_eq!(obj.members_iter(0).count(), 0);
+        assert_eq!(t.members_iter(1).count(), 0); // the object member
     }
 
     #[test]

@@ -17,6 +17,11 @@
 //!   pairs) into a flat tape, so navigation skips subtrees in O(1)
 //!   without re-scanning bytes, and arrays expose record boundaries for
 //!   split-parallel scans.
+//! * [`stage1`] — the **vectorized stage-1 scanner** feeding the index
+//!   builder: 64-byte blocks in, per-block bitmasks out (quotes, escapes,
+//!   in-string state, whitespace, structural characters), with portable
+//!   SWAR and runtime-detected SSE2/AVX2 kernels selectable via
+//!   `VXQ_STAGE1`.
 //! * [`project`] — the **path-projecting parser**: given a projection path
 //!   (e.g. `("root")()("results")()`), it streams each matching sub-item to
 //!   a callback *without materializing anything else*. This is the runtime
@@ -51,6 +56,7 @@ pub mod number;
 pub mod parse;
 pub mod path;
 pub mod project;
+pub mod stage1;
 pub mod text;
 
 pub use datetime::DateTime;

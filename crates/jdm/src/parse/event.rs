@@ -364,16 +364,16 @@ impl<'a> EventParser<'a> {
 /// Scan a number token's grammar starting at `start`; returns the end
 /// offset and whether the literal has a fraction or exponent. Shared by
 /// the event parser and the structural-index builder so both accept
-/// exactly the same number grammar.
+/// exactly the same number grammar. Digit runs advance eight bytes at a
+/// time via the SWAR helper in [`crate::stage1`] — positions only, so
+/// the grammar is unchanged by construction.
 pub(crate) fn scan_number_at(b: &[u8], start: usize) -> Result<(usize, bool)> {
     let mut i = start;
     if i < b.len() && b[i] == b'-' {
         i += 1;
     }
     let int_start = i;
-    while i < b.len() && b[i].is_ascii_digit() {
-        i += 1;
-    }
+    i = crate::stage1::digit_run_end(b, i);
     if i == int_start {
         return Err(JdmError::BadNumber { offset: start });
     }
@@ -386,9 +386,7 @@ pub(crate) fn scan_number_at(b: &[u8], start: usize) -> Result<(usize, bool)> {
         is_double = true;
         i += 1;
         let frac_start = i;
-        while i < b.len() && b[i].is_ascii_digit() {
-            i += 1;
-        }
+        i = crate::stage1::digit_run_end(b, i);
         if i == frac_start {
             return Err(JdmError::BadNumber { offset: start });
         }
@@ -400,9 +398,7 @@ pub(crate) fn scan_number_at(b: &[u8], start: usize) -> Result<(usize, bool)> {
             i += 1;
         }
         let exp_start = i;
-        while i < b.len() && b[i].is_ascii_digit() {
-            i += 1;
-        }
+        i = crate::stage1::digit_run_end(b, i);
         if i == exp_start {
             return Err(JdmError::BadNumber { offset: start });
         }

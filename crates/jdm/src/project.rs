@@ -256,8 +256,7 @@ impl RecordTable {
             return Ok(Some(empty));
         }
         let records = index
-            .members(node)
-            .into_iter()
+            .members_iter(node)
             .map(|m| {
                 let (start, end) = index.span(m);
                 RecordSpan {

@@ -1,0 +1,149 @@
+//! Kernel-differential property tests for vectorized stage 1: every
+//! stage-1 kernel (scalar, SWAR, SSE2, AVX2 where available) must build a
+//! byte-identical tape on valid input and report an *identical* error —
+//! same variant, same offset, same message — on invalid input. Validation
+//! parity is the contract that lets the engine pick kernels freely (see
+//! DESIGN.md §11); these tests are the enforcement.
+
+use jdm::index::{StructuralIndex, TapeEntry};
+use jdm::stage1::{available_kernels, Kernel, Stage1Masks, Stage1Mode};
+use jdm::text::to_string;
+use jdm::{Item, Number};
+use proptest::prelude::*;
+
+fn mode_for(kernel: Kernel) -> Stage1Mode {
+    match kernel {
+        Kernel::Scalar => Stage1Mode::Scalar,
+        Kernel::Swar => Stage1Mode::Swar,
+        Kernel::Sse2 => Stage1Mode::Sse2,
+        Kernel::Avx2 => Stage1Mode::Avx2,
+    }
+}
+
+/// Outcome of one index build, normalized for comparison: the tape on
+/// success, the debug rendering of the error (variant + offset + message)
+/// on failure.
+fn outcome(buf: &[u8], kernel: Kernel) -> Result<Vec<TapeEntry>, String> {
+    StructuralIndex::build_with(buf, mode_for(kernel))
+        .map(|ix| ix.tape().to_vec())
+        .map_err(|e| format!("{e:?}"))
+}
+
+/// Every available kernel must agree with the scalar build, bit for bit.
+fn assert_kernels_agree(buf: &[u8]) {
+    let reference = outcome(buf, Kernel::Scalar);
+    for kernel in available_kernels() {
+        let got = outcome(buf, kernel);
+        assert_eq!(
+            got,
+            reference,
+            "kernel {} diverged from scalar on {:?}",
+            kernel.label(),
+            String::from_utf8_lossy(buf)
+        );
+    }
+}
+
+/// JSON value generator (same shape as prop_roundtrip's).
+fn arb_json(depth: u32) -> impl Strategy<Value = Item> {
+    let leaf = prop_oneof![
+        Just(Item::Null),
+        any::<bool>().prop_map(Item::Boolean),
+        any::<i64>().prop_map(|i| Item::Number(Number::Int(i))),
+        prop::num::f64::NORMAL.prop_map(|d| Item::Number(Number::Double(d))),
+        "[ -~]{0,24}".prop_map(Item::str), // printable ASCII incl. " and \
+        "\\PC{0,12}".prop_map(Item::str),  // arbitrary unicode
+    ];
+    leaf.prop_recursive(depth, 64, 6, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..6).prop_map(Item::Array),
+            prop::collection::vec(("[a-z]{1,8}", inner), 0..6).prop_map(|pairs| {
+                Item::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+            }),
+        ]
+    })
+}
+
+/// Documents engineered to straddle the 64-byte block boundary: `pad`
+/// walks the opening quote across a two-block window and `body` walks
+/// the closing quote across the next boundary, with a tail that is
+/// clean, escaped, control-polluted, non-ASCII, or unterminated.
+fn arb_boundary_doc() -> impl Strategy<Value = Vec<u8>> {
+    (0usize..130, 0usize..130, 0u8..5).prop_map(|(pad, body, tail)| {
+        let mut s = String::from("[");
+        for _ in 0..pad {
+            s.push(' ');
+        }
+        s.push('"');
+        for _ in 0..body {
+            s.push('a');
+        }
+        match tail {
+            0 => s.push_str("\"]"),      // clean close
+            1 => s.push_str("\\\"x\"]"), // escaped quote inside the body
+            2 => s.push_str("\u{7}\"]"), // raw control byte: invalid
+            3 => s.push_str("é\"]"),     // non-ASCII (valid UTF-8)
+            _ => {}                      // unterminated string: invalid
+        }
+        s.into_bytes()
+    })
+}
+
+/// On x86_64 the auto mode must resolve to a vector kernel (SSE2 is part
+/// of the architecture baseline), never silently fall back to scalar —
+/// CI runs this to prove the fleet actually executes vectorized stage 1.
+#[cfg(target_arch = "x86_64")]
+#[test]
+fn auto_selects_vector_kernel() {
+    for mode in [Stage1Mode::Auto, Stage1Mode::Simd] {
+        let k = mode.resolve();
+        assert!(
+            matches!(k, Kernel::Sse2 | Kernel::Avx2),
+            "{mode:?} resolved to {}",
+            k.label()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Valid JSON: identical tapes across kernels.
+    #[test]
+    fn kernels_agree_on_valid_json(item in arb_json(4)) {
+        assert_kernels_agree(to_string(&item).as_bytes());
+    }
+
+    /// Arbitrary byte soup (overwhelmingly invalid): identical error,
+    /// including the offset, across kernels — and no panics.
+    #[test]
+    fn kernels_agree_on_byte_soup(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        assert_kernels_agree(&bytes);
+    }
+
+    /// ASCII soup hits the structural fast paths far more often than raw
+    /// bytes do; errors must still match exactly.
+    #[test]
+    fn kernels_agree_on_ascii_soup(s in "[ -~]{0,192}") {
+        assert_kernels_agree(s.as_bytes());
+    }
+
+    /// Strings straddling 64-byte block boundaries, valid and invalid:
+    /// the mask cursor's block-advance logic must agree with the scalar
+    /// scan at every alignment.
+    #[test]
+    fn kernels_agree_at_block_boundaries(doc in arb_boundary_doc()) {
+        assert_kernels_agree(&doc);
+    }
+
+    /// The raw stage-1 classifications themselves are bit-identical
+    /// across kernels (full profile: all seven masks).
+    #[test]
+    fn stage1_masks_bit_identical(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let reference = Stage1Masks::scan(&bytes, Kernel::Scalar);
+        for kernel in available_kernels() {
+            let got = Stage1Masks::scan(&bytes, kernel);
+            assert_eq!(got.blocks(), reference.blocks(), "kernel {}", kernel.label());
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Ignored-by-default throughput smoke test for the stage-1 kernels.
+//! Run with: cargo test --release -p jdm --test stage1_throughput -- --ignored --nocapture
+
+use jdm::index::StructuralIndex;
+use jdm::stage1::{available_kernels, Kernel, Stage1Mode};
+
+fn ghcn_like(target_bytes: usize) -> Vec<u8> {
+    let mut out = String::with_capacity(target_bytes + 4096);
+    out.push_str(r#"{"root":[{"metadata":{"totalCount":1000,"pageSize":100},"results":["#);
+    let mut i = 0u64;
+    while out.len() < target_bytes {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            r#"{{"date":"2018-01-{:02}T00:00:00.000","dataType":"TMAX","station":"GHCND:USW{:08}","attributes":",,W,2400","value":{}.{}}}"#,
+            (i % 28) + 1,
+            i % 99_999_999,
+            (i % 500) as i64 - 250,
+            i % 10
+        ));
+        i += 1;
+    }
+    out.push_str("]}]}");
+    out.into_bytes()
+}
+
+#[test]
+#[ignore]
+fn kernel_throughput() {
+    let buf = ghcn_like(8 * 1024 * 1024);
+    let mut results = Vec::new();
+    for kernel in available_kernels() {
+        let mode = match kernel {
+            Kernel::Scalar => Stage1Mode::Scalar,
+            Kernel::Swar => Stage1Mode::Swar,
+            Kernel::Sse2 => Stage1Mode::Sse2,
+            Kernel::Avx2 => Stage1Mode::Avx2,
+        };
+        // Warm-up + best-of-5.
+        let mut tape = StructuralIndex::build_with(&buf, mode).unwrap().into_tape();
+        let mut best = f64::INFINITY;
+        for _ in 0..5 {
+            let t = std::time::Instant::now();
+            let idx = StructuralIndex::build_reusing_with(&buf, tape, mode).unwrap();
+            let dt = t.elapsed().as_secs_f64();
+            assert_eq!(idx.kernel(), kernel);
+            tape = idx.into_tape();
+            best = best.min(dt);
+        }
+        let gbps = buf.len() as f64 / best / 1e9;
+        println!("{:>8}: {:.3} GB/s", kernel.label(), gbps);
+        results.push((kernel, gbps));
+    }
+    let scalar = results
+        .iter()
+        .find(|(k, _)| *k == Kernel::Scalar)
+        .unwrap()
+        .1;
+    for (k, g) in &results {
+        println!("{:>8}: {:.2}x vs scalar", k.label(), g / scalar);
+    }
+}

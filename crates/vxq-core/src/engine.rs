@@ -398,17 +398,38 @@ pub fn render_analysis(result: &QueryResult) -> String {
         out.push_str("\n== scan splits ==\n");
         let _ = writeln!(
             out,
-            "{:<5} {:<4} {:<40} {:>7} {:>10} {:>10} {:>12} {:>12}",
-            "stage", "part", "file", "split", "records", "tuples", "bytes", "busy_us"
+            "{:<5} {:<4} {:<40} {:>7} {:>10} {:>10} {:>12} {:>12} {:>10} {:>9} {:>6}",
+            "stage",
+            "part",
+            "file",
+            "split",
+            "records",
+            "tuples",
+            "bytes",
+            "busy_us",
+            "idx_us",
+            "idx_gbps",
+            "kern"
         );
         for s in &result.stats.profile.splits {
             let file = std::path::Path::new(&s.file)
                 .file_name()
                 .map(|f| f.to_string_lossy().into_owned())
                 .unwrap_or_else(|| s.file.clone());
+            // Index-build throughput of this split ("-" when the build
+            // happened elsewhere: another split of a shared file, or an
+            // index-free source).
+            let idx_gbps = if s.index_bytes > 0 && !s.index_elapsed.is_zero() {
+                format!(
+                    "{:.2}",
+                    s.index_bytes as f64 / s.index_elapsed.as_secs_f64() / 1e9
+                )
+            } else {
+                "-".to_string()
+            };
             let _ = writeln!(
                 out,
-                "{:<5} {:<4} {:<40} {:>3}/{:<3} {:>10} {:>10} {:>12} {:>12.1}",
+                "{:<5} {:<4} {:<40} {:>3}/{:<3} {:>10} {:>10} {:>12} {:>12.1} {:>10.1} {:>9} {:>6}",
                 s.stage,
                 s.partition,
                 file,
@@ -417,7 +438,10 @@ pub fn render_analysis(result: &QueryResult) -> String {
                 s.records,
                 s.tuples,
                 s.bytes,
-                s.elapsed.as_secs_f64() * 1e6
+                s.elapsed.as_secs_f64() * 1e6,
+                s.index_elapsed.as_secs_f64() * 1e6,
+                idx_gbps,
+                s.kernel.unwrap_or("-")
             );
         }
     }

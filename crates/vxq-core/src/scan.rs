@@ -55,12 +55,13 @@ use jdm::binary::{to_bytes, write_item};
 use jdm::index::StructuralIndex;
 use jdm::parse::parse_item;
 use jdm::project::{project_indexed, RecordTable};
+use jdm::stage1::Stage1Mode;
 use jdm::{Item, PathStep, ProjectionPath};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Knobs of the projected DATASCAN (part of the engine configuration).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -72,6 +73,10 @@ pub struct ScanOptions {
     /// Files smaller than this never split, and splits are never smaller
     /// than this (bounds per-split overhead).
     pub min_split_bytes: u64,
+    /// Stage-1 kernel selection for structural-index builds (the default
+    /// honours the `VXQ_STAGE1` environment variable, falling back to
+    /// auto-detection).
+    pub stage1: Stage1Mode,
 }
 
 impl Default for ScanOptions {
@@ -79,6 +84,7 @@ impl Default for ScanOptions {
         ScanOptions {
             intra_file_splits: true,
             min_split_bytes: 64 * 1024,
+            stage1: Stage1Mode::from_env(),
         }
     }
 }
@@ -299,6 +305,7 @@ impl ScanSourceFactory for ProjectedScanFactory {
             ctx: ctx.clone(),
             pool: self.pool.clone(),
             cache: self.cache.clone(),
+            stage1: self.options.stage1,
         }))
     }
 }
@@ -309,6 +316,7 @@ struct ProjectedScan {
     ctx: TaskContext,
     pool: Arc<ScanBufferPool>,
     cache: Arc<FileIndexCache>,
+    stage1: Stage1Mode,
 }
 
 impl ScanSource for ProjectedScan {
@@ -337,6 +345,12 @@ impl ScanSource for ProjectedScan {
             };
 
             let (records, bytes);
+            // Index-build attribution for the split profile: bytes run
+            // through the structural-index build by this task, and the
+            // stage-1 kernel that produced the index it navigated.
+            let mut index_bytes = 0u64;
+            let mut index_elapsed = Duration::ZERO;
+            let mut kernel = None;
             if split.path.extension().map(|e| e == "adm").unwrap_or(false) {
                 // Binary files navigate zero-copy instead of re-parsing
                 // (never split: `of` is always 1 for .adm).
@@ -360,8 +374,13 @@ impl ScanSource for ProjectedScan {
                     .counters
                     .bytes_scanned
                     .fetch_add(buf.len() as u64, Ordering::Relaxed);
+                let index_started = Instant::now();
                 let index =
-                    StructuralIndex::build_reusing(&buf, self.pool.take_tape()).map_err(src_err)?;
+                    StructuralIndex::build_reusing_with(&buf, self.pool.take_tape(), self.stage1)
+                        .map_err(src_err)?;
+                index_elapsed = index_started.elapsed();
+                index_bytes = buf.len() as u64;
+                kernel = Some(index.kernel().label());
                 let table = RecordTable::build(&buf, &index, &self.project).map_err(src_err)?;
                 records = match &table {
                     Some(t) => {
@@ -381,7 +400,16 @@ impl ScanSource for ProjectedScan {
             } else {
                 // One record range of a shared file: the cache reads and
                 // indexes the file once for all of its splits on this node.
-                let shared = self.cache.get(&split.path, &self.project, &self.ctx)?;
+                let shared = self
+                    .cache
+                    .get(&split.path, &self.project, &self.ctx, self.stage1)?;
+                kernel = Some(shared.index.kernel().label());
+                // The single shared build is attributed to whichever split
+                // records first, so it is counted exactly once.
+                if !shared.index_reported.swap(true, Ordering::Relaxed) {
+                    index_bytes = shared.bytes.len() as u64;
+                    index_elapsed = shared.index_elapsed;
+                }
                 let n = shared.table.len();
                 let lo = n * split.split / split.of;
                 let hi = n * (split.split + 1) / split.of;
@@ -415,6 +443,9 @@ impl ScanSource for ProjectedScan {
                 tuples,
                 bytes,
                 elapsed: started.elapsed(),
+                index_bytes,
+                index_elapsed,
+                kernel,
             });
         }
         Ok(())
@@ -429,6 +460,11 @@ struct LoadedFile {
     table: RecordTable,
     mem: Arc<MemTracker>,
     tracked: usize,
+    /// Wall time of the one structural-index build.
+    index_elapsed: Duration,
+    /// Set by the first split to record this file's index build into its
+    /// profile, so the shared build is never double-counted.
+    index_reported: AtomicBool,
 }
 
 impl Drop for LoadedFile {
@@ -453,6 +489,7 @@ impl FileIndexCache {
         path: &Path,
         project: &ProjectionPath,
         ctx: &TaskContext,
+        stage1: Stage1Mode,
     ) -> Result<Arc<LoadedFile>> {
         // Recover a poisoned map rather than panicking: the map itself is
         // structurally sound under poisoning (a panicked task can at worst
@@ -474,7 +511,9 @@ impl FileIndexCache {
                     .fetch_add(bytes.len() as u64, Ordering::Relaxed);
                 let src_err =
                     |e: jdm::JdmError| DataflowError::Source(format!("{}: {e}", path.display()));
-                let index = StructuralIndex::build(&bytes).map_err(src_err)?;
+                let index_started = Instant::now();
+                let index = StructuralIndex::build_with(&bytes, stage1).map_err(src_err)?;
+                let index_elapsed = index_started.elapsed();
                 let table = RecordTable::build(&bytes, &index, project)
                     .map_err(src_err)?
                     .ok_or_else(|| {
@@ -496,6 +535,8 @@ impl FileIndexCache {
                     table,
                     mem: ctx.mem.clone(),
                     tracked,
+                    index_elapsed,
+                    index_reported: AtomicBool::new(false),
                 }))
             };
             load().map_err(|e| e.to_string())
@@ -726,6 +767,7 @@ mod tests {
         let opts = ScanOptions {
             intra_file_splits: true,
             min_split_bytes: 1,
+            ..ScanOptions::default()
         };
         let ppn = 4;
         let mut seen: Vec<(PathBuf, usize, usize)> = Vec::new();
@@ -753,6 +795,7 @@ mod tests {
         let opts = ScanOptions {
             intra_file_splits: true,
             min_split_bytes: 1,
+            ..ScanOptions::default()
         };
         for p in 0..2 {
             for s in partition_splits(&dir, &ctx(p, 2, 2), &opts, false).unwrap() {
@@ -809,6 +852,7 @@ mod tests {
         let opts = ScanOptions {
             intra_file_splits: true,
             min_split_bytes: 1024,
+            ..ScanOptions::default()
         };
         let loads: Vec<u64> = (0..2)
             .map(|p| {
@@ -838,6 +882,7 @@ mod tests {
         let opts = ScanOptions {
             intra_file_splits: true,
             min_split_bytes: 1,
+            ..ScanOptions::default()
         };
         for p in 0..2 {
             for s in partition_splits(&dir, &ctx(p, 2, 2), &opts, true).unwrap() {

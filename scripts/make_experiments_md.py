@@ -149,6 +149,16 @@ COMMENTARY = {
         "Beyond the paper: isolating design choices DESIGN.md calls out.",
         "",
     ),
+    "Stage 1": (
+        "Beyond the paper: vectorized (SWAR/SIMD) stage-1 structural "
+        "scanning for the index builder, DESIGN.md §11.",
+        "Measured: SWAR reaches ~2x the scalar per-byte scan on "
+        "cache-resident GHCN-shaped files (best-of estimator; the "
+        "paired-median estimator is within ~10% on a quiet host), with "
+        "SSE2/AVX2 another 10-20% up. DRAM-bound sizes compress the "
+        "ratio toward ~1.8x; end-to-end Q0/Q0b improve by the index "
+        "build's Amdahl share (~1.1x).",
+    ),
 }
 
 HEADER = """# EXPERIMENTS — paper vs. measured

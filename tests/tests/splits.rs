@@ -56,6 +56,7 @@ fn splits_on() -> ScanOptions {
         // Low threshold so the test file (well under 64 KiB per split)
         // still fans out.
         min_split_bytes: 1024,
+        ..ScanOptions::default()
     }
 }
 
